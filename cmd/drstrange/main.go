@@ -1,0 +1,104 @@
+// Command drstrange runs one configurable simulation of the DR-STRaNGe
+// system and reports per-application and controller statistics.
+//
+// Usage examples:
+//
+//	drstrange -apps soplex -rng 5120 -design drstrange
+//	drstrange -apps lbm,mcf,libq -rng 5120 -design oblivious -instr 200000
+//	drstrange -apps soplex -rng 5120 -design drstrange -mech quac
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"drstrange/internal/sim"
+	"drstrange/internal/trng"
+	"drstrange/internal/workload"
+)
+
+var designs = map[string]sim.Design{
+	"oblivious":           sim.DesignOblivious,
+	"bliss":               sim.DesignBLISS,
+	"rngaware":            sim.DesignRNGAwareNoBuffer,
+	"greedy":              sim.DesignGreedy,
+	"drstrange":           sim.DesignDRStrange,
+	"drstrange-nopred":    sim.DesignDRStrangeNoPred,
+	"drstrange-rl":        sim.DesignDRStrangeRL,
+	"drstrange-nolowutil": sim.DesignDRStrangeNoLowUtil,
+}
+
+func main() {
+	apps := flag.String("apps", "soplex", "comma-separated non-RNG applications (see -listapps)")
+	rng := flag.Float64("rng", 5120, "RNG benchmark required throughput in Mb/s (0 = none)")
+	designName := flag.String("design", "drstrange", "system design: oblivious|bliss|rngaware|greedy|drstrange|drstrange-nopred|drstrange-rl|drstrange-nolowutil")
+	mech := flag.String("mech", "drange", "TRNG mechanism: drange|quac")
+	instr := flag.Int64("instr", sim.DefaultInstructions(), "per-core instruction budget")
+	buffer := flag.Int("buffer", 0, "random number buffer entries (0 = design default)")
+	listApps := flag.Bool("listapps", false, "list the application suite and exit")
+	flag.Parse()
+
+	if *listApps {
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-14s %-10s MPKI=%-6.2f class=%s\n", p.Name, p.Suite, p.MPKI, p.Class())
+		}
+		return
+	}
+
+	design, ok := designs[*designName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "drstrange: unknown design %q\n", *designName)
+		os.Exit(2)
+	}
+	mechanism := trng.DRaNGe()
+	if *mech == "quac" {
+		mechanism = trng.QUACTRNG()
+	}
+
+	var names []string
+	for _, a := range strings.Split(*apps, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if _, ok := workload.ByName(a); !ok {
+			fmt.Fprintf(os.Stderr, "drstrange: unknown application %q (use -listapps)\n", a)
+			os.Exit(2)
+		}
+		names = append(names, a)
+	}
+	mix := workload.Mix{Name: strings.Join(names, "+"), Apps: names, RNGMbps: *rng}
+
+	w := sim.Evaluate(sim.RunConfig{
+		Design:       design,
+		Mix:          mix,
+		Mech:         mechanism,
+		BufferWords:  *buffer,
+		Instructions: *instr,
+	})
+
+	fmt.Printf("design: %v   mechanism: %s   mix: %s\n\n", design, mechanism.Name, mix.Name)
+	fmt.Printf("%-22s %10s\n", "metric", "value")
+	rows := []struct {
+		k string
+		v float64
+	}{
+		{"non-RNG slowdown", w.NonRNGSlowdown},
+		{"RNG slowdown", w.RNGSlowdown},
+		{"unfairness", w.Unfairness},
+		{"weighted speedup", w.WeightedSpeedup},
+		{"buffer serve rate", w.BufferServeRate},
+		{"predictor accuracy", w.PredictorAccuracy},
+		{"RNG stall fraction", w.RNGStallFrac},
+		{"energy (mJ)", w.EnergyJ * 1e3},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-22s %10.3f\n", r.k, r.v)
+	}
+	st := w.Ctrl
+	fmt.Printf("\ncontroller: reads=%d writes=%d rng=%d (buffer hits=%d) rounds=%d switches=%d overrides=%d\n",
+		st.ReadsServed, st.WritesServed, st.RNGServed, st.RNGFromBuffer,
+		st.RNGRounds, st.ModeSwitches, st.StarvationOverrides)
+}

@@ -1,0 +1,11 @@
+// Package drstrange is a from-scratch Go reproduction of "DR-STRaNGe:
+// End-to-End System Design for DRAM-based True Random Number
+// Generators" (Bostancı et al., HPCA 2022).
+//
+// The public entry points are the command-line tools in cmd/ and the
+// runnable examples in examples/; the simulator itself lives under
+// internal/ (see DESIGN.md for the system inventory and README.md for
+// a tour). The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation; EXPERIMENTS.md records
+// paper-vs-measured results.
+package drstrange

@@ -1,0 +1,49 @@
+// Keygen: a security application (the paper's motivating workload
+// class) generating cryptographic key material from the DRAM TRNG
+// while a memory-intensive application runs in the background. It
+// contrasts service latency on the RNG-oblivious baseline against
+// DR-STRaNGe, showing the buffering mechanism hiding TRNG latency.
+package main
+
+import (
+	"fmt"
+
+	"drstrange/internal/core"
+	"drstrange/internal/sim"
+)
+
+// generateKeys pulls nKeys 256-bit keys plus a 96-bit nonce each
+// through the application interface, returning the average per-key
+// latency in memory cycles.
+func generateKeys(s *core.Syscall, system *sim.Interactive, nKeys int) float64 {
+	total := int64(0)
+	for i := 0; i < nKeys; i++ {
+		key := make([]byte, 32)
+		nonce := make([]byte, 12)
+		_, l1 := s.GetRandom(key)
+		_, l2 := s.GetRandom(nonce)
+		total += l1 + l2
+		// The application does some work between keys; the system
+		// (and the buffering mechanism) keeps running.
+		system.Idle(200)
+	}
+	return float64(total) / float64(nKeys)
+}
+
+func main() {
+	const background = "lbm" // memory-intensive co-runner
+	const keys = 64
+
+	fmt.Printf("generating %d AES-256 keys (+nonces) with %q running in the background\n\n", keys, background)
+	for _, design := range []sim.Design{sim.DesignOblivious, sim.DesignDRStrange} {
+		system := sim.NewInteractive(design, []string{background}, 7)
+		syscall := core.NewSyscall(system)
+		avg := generateKeys(syscall, system, keys)
+		st := system.Stats()
+		fmt.Printf("%-24v avg %7.1f cycles/key (%6.0f ns)  buffer hits: %d/%d  mode switches: %d\n",
+			design, avg, avg*5, st.RNGFromBuffer, st.RNGServed, st.ModeSwitches)
+	}
+	fmt.Println("\nDR-STRaNGe serves most keys from the random number buffer filled")
+	fmt.Println("during predicted-idle DRAM periods, hiding the TRNG latency the")
+	fmt.Println("baseline pays on every request (Section 5.1 of the paper).")
+}

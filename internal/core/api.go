@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// WordRequester is the hardware side of the application interface: it
+// obtains one 64-bit true random word from the system's DRAM TRNG and
+// reports how many memory cycles the request took (buffer hits are
+// fast; buffer misses pay generation latency).
+type WordRequester interface {
+	RequestWord() (word uint64, latency int64)
+}
+
+// Syscall is DR-STRaNGe's application interface (Section 5.3): the
+// getrandom()-style entry point applications use. It fills caller
+// buffers from the system TRNG, returns only to the requesting caller,
+// and never reuses served bits — each word is consumed exactly once
+// (the security properties of Section 6).
+type Syscall struct {
+	r WordRequester
+
+	// WordsServed counts 64-bit words delivered through the interface.
+	WordsServed int64
+	// TotalLatency accumulates the memory-cycle latency of all served
+	// words.
+	TotalLatency int64
+}
+
+// NewSyscall wraps a word source in the application interface.
+func NewSyscall(r WordRequester) *Syscall {
+	if r == nil {
+		panic("core: NewSyscall needs a WordRequester")
+	}
+	return &Syscall{r: r}
+}
+
+// GetRandom fills p with true random bytes, mirroring Linux's
+// getrandom(2). It returns the number of bytes written and the total
+// simulated latency in memory cycles.
+func (s *Syscall) GetRandom(p []byte) (n int, latency int64) {
+	for n < len(p) {
+		w, l := s.r.RequestWord()
+		latency += l
+		s.WordsServed++
+		s.TotalLatency += l
+		for i := 0; i < 8 && n < len(p); i++ {
+			p[n] = byte(w >> (8 * i))
+			n++
+		}
+	}
+	return n, latency
+}
+
+// Uint64 returns one random 64-bit value with its service latency.
+func (s *Syscall) Uint64() (uint64, int64) {
+	w, l := s.r.RequestWord()
+	s.WordsServed++
+	s.TotalLatency += l
+	return w, l
+}
+
+// AverageLatency reports the mean memory-cycle latency per served word.
+func (s *Syscall) AverageLatency() float64 {
+	if s.WordsServed == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.WordsServed)
+}
+
+// String summarizes interface usage.
+func (s *Syscall) String() string {
+	return fmt.Sprintf("syscall: %d words served, avg latency %.1f cycles",
+		s.WordsServed, s.AverageLatency())
+}

@@ -1,0 +1,269 @@
+// Package cpu implements the trace-driven processor model of the
+// simulated system: a 4 GHz, 3-wide core with a 128-entry instruction
+// window (the paper's Table 1), in the style of Ramulator's core model.
+// Instructions dispatch in order into the window; compute instructions
+// complete immediately, memory instructions complete when the memory
+// controller finishes them, and the window retires in order — so an
+// outstanding load (or an outstanding random-number request) at the
+// window head stalls the core once the window drains or fills.
+//
+// Clock domains: the memory system ticks at 200 MHz (5 ns memory
+// cycles) while the core runs at 4 GHz, so each memory tick carries a
+// budget of 20 CPU cycles x 3-wide = 60 instruction slots. Modeling the
+// core at memory-tick granularity keeps the 186-workload evaluation
+// tractable while preserving memory-boundedness (see DESIGN.md).
+package cpu
+
+import (
+	"drstrange/internal/memctrl"
+)
+
+// OpKind classifies a trace operation.
+type OpKind uint8
+
+// Trace operation kinds.
+const (
+	// OpCompute is a bundle of non-memory instructions only.
+	OpCompute OpKind = iota
+	// OpLoad is a last-level-cache-missing read.
+	OpLoad
+	// OpStore is a writeback.
+	OpStore
+	// OpRand is a 64-bit random number request (RNG applications).
+	OpRand
+)
+
+// Op is one trace record: NonMem compute instructions followed by one
+// memory operation (none for OpCompute).
+type Op struct {
+	NonMem int
+	Kind   OpKind
+	Line   uint64
+}
+
+// Trace is an instruction stream. Traces are infinite: synthetic
+// generators wrap around rather than ending, so a core can always
+// continue generating memory traffic after its measured instruction
+// budget completes (the standard multiprogrammed-simulation
+// methodology).
+type Trace interface {
+	NextOp() Op
+}
+
+// MemPort is the core's connection to the memory controller.
+type MemPort interface {
+	SubmitRead(line uint64, core int, now int64) (*memctrl.Request, bool)
+	SubmitWrite(line uint64, core int, now int64) bool
+	SubmitRNG(core int, now int64) (*memctrl.Request, bool)
+}
+
+// Stats are the per-core measurements the experiments consume. All
+// counters freeze once the core retires its instruction target.
+type Stats struct {
+	Retired    int64
+	FinishTick int64 // tick the instruction target was reached
+	Finished   bool
+
+	Loads  int64
+	Stores int64
+	Rands  int64
+
+	// StallMemTicks counts memory ticks with zero retirement while a
+	// regular load blocked the window head; StallRNGTicks the same for
+	// random number requests. Their sum is the memory stall time used
+	// by the unfairness metric (MCPI).
+	StallMemTicks int64
+	StallRNGTicks int64
+}
+
+// MPKI returns misses (loads+stores) per kilo-instruction.
+func (s *Stats) MPKI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.Loads+s.Stores) / float64(s.Retired) * 1000
+}
+
+// MCPI returns memory stall ticks (including RNG stalls) per
+// instruction — the paper's memory-related-slowdown ingredient.
+func (s *Stats) MCPI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.StallMemTicks+s.StallRNGTicks) / float64(s.Retired)
+}
+
+type winEntry struct {
+	req *memctrl.Request // nil for instructions that complete at dispatch
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	ID int
+
+	trace Trace
+	mem   MemPort
+
+	windowSize int
+	budget     int // instruction slots per memory tick (width x clock ratio)
+
+	// Instruction window ring buffer.
+	win        []winEntry
+	head, size int
+
+	// Dispatch state for the op currently streaming in.
+	computeLeft int
+	pendingMem  *Op // memory part awaiting queue space; nil if none
+
+	target int64
+	stats  Stats
+}
+
+// Config holds core parameters; DefaultConfig matches Table 1.
+type Config struct {
+	WindowSize    int // 128-entry instruction window
+	IssueWidth    int // 3-wide issue
+	CPUPerMemTick int // 4 GHz core / 200 MHz memory clock = 20
+}
+
+// DefaultConfig returns the paper's core configuration.
+func DefaultConfig() Config {
+	return Config{WindowSize: 128, IssueWidth: 3, CPUPerMemTick: 20}
+}
+
+// NewCore builds a core that executes trace through mem, measuring the
+// first target instructions.
+func NewCore(id int, trace Trace, mem MemPort, cfg Config, target int64) *Core {
+	if cfg.WindowSize <= 0 || cfg.IssueWidth <= 0 || cfg.CPUPerMemTick <= 0 {
+		panic("cpu: invalid core config")
+	}
+	if target <= 0 {
+		panic("cpu: instruction target must be positive")
+	}
+	return &Core{
+		ID:         id,
+		trace:      trace,
+		mem:        mem,
+		windowSize: cfg.WindowSize,
+		budget:     cfg.IssueWidth * cfg.CPUPerMemTick,
+		win:        make([]winEntry, cfg.WindowSize),
+		target:     target,
+	}
+}
+
+// Stats returns the core's measurement snapshot.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Finished reports whether the instruction target has been reached.
+func (c *Core) Finished() bool { return c.stats.Finished }
+
+// Tick advances the core by one memory cycle: retire up to the budget
+// from the window head, then dispatch up to the budget new
+// instructions.
+func (c *Core) Tick(now int64) {
+	retired := c.retire()
+	c.dispatch(now)
+
+	if c.stats.Finished {
+		return
+	}
+	c.stats.Retired += int64(retired)
+	if retired == 0 && c.size > 0 {
+		if req := c.win[c.head].req; req != nil && !req.Done {
+			if req.Kind == memctrl.KindRNG {
+				c.stats.StallRNGTicks++
+			} else {
+				c.stats.StallMemTicks++
+			}
+		}
+	}
+	if c.stats.Retired >= c.target {
+		c.stats.Finished = true
+		c.stats.FinishTick = now
+	}
+}
+
+func (c *Core) retire() int {
+	n := 0
+	for n < c.budget && c.size > 0 {
+		e := &c.win[c.head]
+		if e.req != nil && !e.req.Done {
+			break
+		}
+		e.req = nil
+		c.head = (c.head + 1) % c.windowSize
+		c.size--
+		n++
+	}
+	return n
+}
+
+func (c *Core) dispatch(now int64) {
+	slots := c.budget
+	for slots > 0 && c.size < c.windowSize {
+		if c.computeLeft > 0 {
+			c.push(nil)
+			c.computeLeft--
+			slots--
+			continue
+		}
+		if c.pendingMem != nil {
+			if !c.submit(c.pendingMem, now) {
+				return // queue full: in-order dispatch stalls
+			}
+			c.pendingMem = nil
+			slots--
+			continue
+		}
+		op := c.trace.NextOp()
+		c.computeLeft = op.NonMem
+		if op.Kind != OpCompute {
+			memOp := op
+			c.pendingMem = &memOp
+		}
+		if op.NonMem == 0 && op.Kind == OpCompute {
+			// Defensive: a zero op would spin forever.
+			return
+		}
+	}
+}
+
+// submit sends the memory part of an op to the controller; it returns
+// false on queue-full backpressure.
+func (c *Core) submit(op *Op, now int64) bool {
+	switch op.Kind {
+	case OpLoad:
+		req, ok := c.mem.SubmitRead(op.Line, c.ID, now)
+		if !ok {
+			return false
+		}
+		c.push(req)
+		if !c.stats.Finished {
+			c.stats.Loads++
+		}
+	case OpStore:
+		if !c.mem.SubmitWrite(op.Line, c.ID, now) {
+			return false
+		}
+		c.push(nil) // stores retire without waiting (posted)
+		if !c.stats.Finished {
+			c.stats.Stores++
+		}
+	case OpRand:
+		req, ok := c.mem.SubmitRNG(c.ID, now)
+		if !ok {
+			return false
+		}
+		c.push(req)
+		if !c.stats.Finished {
+			c.stats.Rands++
+		}
+	}
+	return true
+}
+
+func (c *Core) push(req *memctrl.Request) {
+	tail := (c.head + c.size) % c.windowSize
+	c.win[tail] = winEntry{req: req}
+	c.size++
+}

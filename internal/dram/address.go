@@ -1,0 +1,69 @@
+package dram
+
+import "fmt"
+
+// Addr identifies one cache-line-sized column of one DRAM row.
+type Addr struct {
+	Channel int
+	Bank    int
+	Row     int
+	Col     int
+}
+
+// String renders the address for logs and test failures.
+func (a Addr) String() string {
+	return fmt.Sprintf("ch%d/ba%d/row%d/col%d", a.Channel, a.Bank, a.Row, a.Col)
+}
+
+// Geometry describes the shape of the simulated memory system:
+// the Table 1 configuration is 4 channels x 1 rank x 8 banks x 64K rows.
+// Cols is the number of cache lines per row (8 KB row / 64 B line = 128).
+type Geometry struct {
+	Channels int
+	Banks    int
+	Rows     int
+	Cols     int
+}
+
+// DefaultGeometry returns the paper's Table 1 memory organization.
+func DefaultGeometry() Geometry {
+	return Geometry{Channels: 4, Banks: 8, Rows: 65536, Cols: 128}
+}
+
+// Lines returns the total number of cache lines the geometry addresses.
+func (g Geometry) Lines() uint64 {
+	return uint64(g.Channels) * uint64(g.Banks) * uint64(g.Rows) * uint64(g.Cols)
+}
+
+// Map decodes a cache-line number into a physical DRAM location using a
+// row:bank:channel:column interleaving. Low bits select the column so
+// that sequential lines stream within a row; the channel bits sit above
+// the column bits so that sequential rows spread across channels — the
+// conventional mapping Ramulator's default ("RoBaChCo"-like) uses and
+// the one the paper's idle-period behaviour presumes.
+func (g Geometry) Map(line uint64) Addr {
+	col := int(line % uint64(g.Cols))
+	line /= uint64(g.Cols)
+	ch := int(line % uint64(g.Channels))
+	line /= uint64(g.Channels)
+	ba := int(line % uint64(g.Banks))
+	line /= uint64(g.Banks)
+	row := int(line % uint64(g.Rows))
+	return Addr{Channel: ch, Bank: ba, Row: row, Col: col}
+}
+
+// LineOf is the inverse of Map; it exists so tests can round-trip the
+// mapping and so workload generators can construct addresses with a
+// chosen locality structure.
+func (g Geometry) LineOf(a Addr) uint64 {
+	return ((uint64(a.Row)*uint64(g.Banks)+uint64(a.Bank))*uint64(g.Channels)+
+		uint64(a.Channel))*uint64(g.Cols) + uint64(a.Col)
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.Banks <= 0 || g.Rows <= 0 || g.Cols <= 0 {
+		return fmt.Errorf("dram: geometry fields must be positive: %+v", g)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package dram
+
+// Bank is the state machine of a single DRAM bank: either idle
+// (precharged) or holding one open row in its row buffer. The next*
+// fields record the earliest tick each command class may legally be
+// issued to this bank; they are pushed forward as commands issue.
+type Bank struct {
+	Open bool
+	Row  int
+
+	nextACT int64
+	nextPRE int64
+	nextRD  int64
+	nextWR  int64
+
+	// Statistics used by the energy model and by tests.
+	ACTs int64
+	PREs int64
+	RDs  int64
+	WRs  int64
+}
+
+// RowHit reports whether a column access to row would hit the open row
+// buffer.
+func (b *Bank) RowHit(row int) bool { return b.Open && b.Row == row }
+
+// canACT reports whether an ACTIVATE is legal at tick now with respect
+// to this bank's own timing state (rank-level RRD/FAW are checked by
+// the channel).
+func (b *Bank) canACT(now int64) bool { return !b.Open && now >= b.nextACT }
+
+func (b *Bank) canPRE(now int64) bool { return b.Open && now >= b.nextPRE }
+
+func (b *Bank) canRD(now int64) bool { return b.Open && now >= b.nextRD }
+
+func (b *Bank) canWR(now int64) bool { return b.Open && now >= b.nextWR }

@@ -1,0 +1,51 @@
+package dram
+
+// Device is a complete DRAM main memory: a geometry plus one Channel
+// state machine per memory channel.
+type Device struct {
+	Geom     Geometry
+	Timing   Timing
+	Channels []*Channel
+}
+
+// NewDevice builds a device from a geometry and timing set. It returns
+// an error if either is invalid, so experiment configs fail fast.
+func NewDevice(g Geometry, t Timing) (*Device, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{Geom: g, Timing: t, Channels: make([]*Channel, g.Channels)}
+	for i := range d.Channels {
+		d.Channels[i] = NewChannel(g.Banks, t)
+	}
+	return d, nil
+}
+
+// MustDevice is NewDevice for known-good configs (tests, defaults).
+func MustDevice(g Geometry, t Timing) *Device {
+	d, err := NewDevice(g, t)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Channel returns channel i.
+func (d *Device) Channel(i int) *Channel { return d.Channels[i] }
+
+// TotalCommandCounts sums command statistics across channels, for the
+// energy model and end-of-run reports.
+func (d *Device) TotalCommandCounts() (acts, pres, rds, wrs, refs int64) {
+	for _, c := range d.Channels {
+		a, p, r, w, f := c.CommandCounts()
+		acts += a
+		pres += p
+		rds += r
+		wrs += w
+		refs += f
+	}
+	return acts, pres, rds, wrs, refs
+}

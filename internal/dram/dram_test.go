@@ -1,0 +1,387 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR3TimingValid(t *testing.T) {
+	if err := DDR3_1600().Validate(); err != nil {
+		t.Fatalf("default timing invalid: %v", err)
+	}
+}
+
+func TestTimingValidateRejectsZero(t *testing.T) {
+	tm := DDR3_1600()
+	tm.RCD = 0
+	if err := tm.Validate(); err == nil {
+		t.Fatal("zero RCD accepted")
+	}
+}
+
+func TestTimingValidateRCCoversRASRP(t *testing.T) {
+	tm := DDR3_1600()
+	tm.RC = tm.RAS + tm.RP - 1
+	if err := tm.Validate(); err == nil {
+		t.Fatal("RC < RAS+RP accepted")
+	}
+}
+
+func TestTimingErrorString(t *testing.T) {
+	e := &TimingError{Field: "RCD", Value: 0}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	e2 := &TimingError{Field: "RC", Value: 1, Reason: "why"}
+	if e2.Error() == e.Error() {
+		t.Fatal("reasoned error should differ")
+	}
+}
+
+func TestGeometryRoundTrip(t *testing.T) {
+	g := DefaultGeometry()
+	lines := []uint64{0, 1, 127, 128, 12345, g.Lines() - 1}
+	for _, l := range lines {
+		a := g.Map(l)
+		if got := g.LineOf(a); got != l {
+			t.Fatalf("round trip %d -> %v -> %d", l, a, got)
+		}
+	}
+}
+
+func TestGeometryQuickRoundTrip(t *testing.T) {
+	g := DefaultGeometry()
+	f := func(l uint64) bool {
+		l %= g.Lines()
+		a := g.Map(l)
+		inRange := a.Channel >= 0 && a.Channel < g.Channels &&
+			a.Bank >= 0 && a.Bank < g.Banks &&
+			a.Row >= 0 && a.Row < g.Rows &&
+			a.Col >= 0 && a.Col < g.Cols
+		return inRange && g.LineOf(a) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometrySequentialLinesSpreadChannels(t *testing.T) {
+	g := DefaultGeometry()
+	// Lines within one row share a channel; consecutive row-sized
+	// blocks rotate across channels.
+	a0 := g.Map(0)
+	a1 := g.Map(uint64(g.Cols))
+	if a0.Channel == a1.Channel {
+		t.Fatalf("adjacent row blocks on same channel: %v vs %v", a0, a1)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := (Geometry{}).Validate(); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Channel: 1, Bank: 2, Row: 3, Col: 4}
+	if a.String() != "ch1/ba2/row3/col4" {
+		t.Fatalf("got %q", a.String())
+	}
+}
+
+func newTestChannel() *Channel { return NewChannel(8, DDR3_1600()) }
+
+func TestActivateReadPrechargeSequence(t *testing.T) {
+	c := newTestChannel()
+	tm := c.T
+	if !c.CanACT(0, 0) {
+		t.Fatal("fresh channel cannot ACT")
+	}
+	c.IssueACT(0, 42, 0)
+	if c.Banks[0].RowHit(42) != true {
+		t.Fatal("row not open after ACT")
+	}
+	if c.CanRD(0, tm.RCD-1) {
+		t.Fatal("RD legal before tRCD")
+	}
+	if !c.CanRD(0, tm.RCD) {
+		t.Fatal("RD illegal at tRCD")
+	}
+	dataAt := c.IssueRD(0, tm.RCD)
+	if want := tm.RCD + tm.CL + tm.BL; dataAt != want {
+		t.Fatalf("dataAt = %d, want %d", dataAt, want)
+	}
+	if c.CanPRE(0, tm.RAS-1) {
+		t.Fatal("PRE legal before tRAS")
+	}
+	if !c.CanPRE(0, tm.RAS) {
+		t.Fatal("PRE illegal at tRAS")
+	}
+	c.IssuePRE(0, tm.RAS)
+	if c.Banks[0].Open {
+		t.Fatal("bank open after PRE")
+	}
+	if c.CanACT(0, tm.RAS+tm.RP-1) {
+		t.Fatal("ACT legal before tRP elapsed")
+	}
+	// Same-bank re-ACT also needs tRC from the first ACT.
+	at := tm.RAS + tm.RP
+	if at < tm.RC {
+		at = tm.RC
+	}
+	if !c.CanACT(0, at) {
+		t.Fatalf("ACT illegal at %d", at)
+	}
+}
+
+func TestRRDBetweenBanks(t *testing.T) {
+	c := newTestChannel()
+	c.IssueACT(0, 1, 0)
+	if c.CanACT(1, 1) {
+		t.Fatal("second ACT legal 1 tick after first (tRRD violated)")
+	}
+	if !c.CanACT(1, c.T.RRD) {
+		t.Fatal("second ACT illegal at tRRD")
+	}
+}
+
+func TestFAWLimitsActivates(t *testing.T) {
+	c := newTestChannel()
+	tm := c.T
+	// Issue four ACTs as fast as tRRD allows.
+	now := int64(0)
+	for b := 0; b < 4; b++ {
+		for !c.CanACT(b, now) {
+			now++
+		}
+		c.IssueACT(b, 0, now)
+	}
+	// Fifth ACT must wait until first ACT + tFAW.
+	fifth := now
+	for !c.CanACT(4, fifth) {
+		fifth++
+	}
+	if fifth < tm.FAW {
+		t.Fatalf("fifth ACT at %d violates tFAW=%d", fifth, tm.FAW)
+	}
+}
+
+func TestCommandBusOneCommandPerTick(t *testing.T) {
+	c := newTestChannel()
+	c.IssueACT(0, 0, 0)
+	if c.CanACT(1, 0) {
+		t.Fatal("two commands on the bus in one tick")
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	c := newTestChannel()
+	tm := c.T
+	c.IssueACT(0, 0, 0)
+	now := tm.RCD
+	end := c.IssueWR(0, now)
+	if want := now + tm.CWL + tm.BL; end != want {
+		t.Fatalf("write data end = %d, want %d", end, want)
+	}
+	// A read must wait for write data end + tWTR.
+	if c.CanRD(0, end+tm.WTR-1) {
+		t.Fatal("RD legal before tWTR elapsed")
+	}
+	if !c.CanRD(0, end+tm.WTR) {
+		t.Fatal("RD illegal after tWTR")
+	}
+}
+
+func TestReadToWriteTurnaround(t *testing.T) {
+	c := newTestChannel()
+	tm := c.T
+	c.IssueACT(0, 0, 0)
+	c.IssueRD(0, tm.RCD)
+	if c.CanWR(0, tm.RCD+tm.RTW-1) {
+		t.Fatal("WR legal before tRTW")
+	}
+	if !c.CanWR(0, tm.RCD+tm.RTW) {
+		t.Fatal("WR illegal at tRTW")
+	}
+}
+
+func TestWriteRecoveryBeforePrecharge(t *testing.T) {
+	c := newTestChannel()
+	tm := c.T
+	c.IssueACT(0, 0, 0)
+	end := c.IssueWR(0, tm.RCD)
+	if c.CanPRE(0, end+tm.WR-1) {
+		t.Fatal("PRE legal before write recovery")
+	}
+	if !c.CanPRE(0, end+tm.WR) {
+		t.Fatal("PRE illegal after write recovery")
+	}
+}
+
+func TestReadToPrecharge(t *testing.T) {
+	c := newTestChannel()
+	tm := c.T
+	c.IssueACT(0, 0, 0)
+	// Wait out tRAS so only tRTP can be the limiter.
+	now := tm.RAS + 10
+	for !c.CanRD(0, now) {
+		now++
+	}
+	c.IssueRD(0, now)
+	if c.CanPRE(0, now+tm.RTP-1) {
+		t.Fatal("PRE legal before tRTP")
+	}
+	if !c.CanPRE(0, now+tm.RTP) {
+		t.Fatal("PRE illegal at tRTP")
+	}
+}
+
+func TestConsecutiveReadsSpacedByBurst(t *testing.T) {
+	c := newTestChannel()
+	tm := c.T
+	c.IssueACT(0, 0, 0)
+	now := tm.RCD
+	c.IssueRD(0, now)
+	gap := tm.CCD
+	if tm.BL > gap {
+		gap = tm.BL
+	}
+	if c.CanRD(0, now+gap-1) && gap > 1 {
+		t.Fatal("back-to-back reads violate data bus occupancy")
+	}
+	if !c.CanRD(0, now+gap) {
+		t.Fatal("read illegal after burst gap")
+	}
+}
+
+func TestRefreshCycle(t *testing.T) {
+	c := newTestChannel()
+	tm := c.T
+	if c.RefreshDue(tm.REFI - 1) {
+		t.Fatal("refresh due early")
+	}
+	if !c.RefreshDue(tm.REFI) {
+		t.Fatal("refresh not due at tREFI")
+	}
+	done := c.IssueREF(tm.REFI)
+	if done != tm.REFI+tm.RFC {
+		t.Fatalf("refresh done at %d, want %d", done, tm.REFI+tm.RFC)
+	}
+	if c.CmdBusFree(done - 1) {
+		t.Fatal("bus usable during refresh")
+	}
+	if !c.CanACT(0, done) {
+		t.Fatal("ACT illegal after refresh completes")
+	}
+	if c.NextRefresh != 2*tm.REFI {
+		t.Fatalf("next refresh %d, want %d", c.NextRefresh, 2*tm.REFI)
+	}
+}
+
+func TestRefreshRequiresPrecharged(t *testing.T) {
+	c := newTestChannel()
+	c.IssueACT(0, 0, 0)
+	if c.CanREF(c.T.REFI) {
+		t.Fatal("REF legal with open bank")
+	}
+}
+
+func TestBlockStallsChannelKeepsRows(t *testing.T) {
+	c := newTestChannel()
+	c.IssueACT(0, 42, 0)
+	c.IssueACT(1, 7, c.T.RRD)
+	c.Block(c.T.RRD+1, 100)
+	// Row state survives: reduced-timing TRNG reads target reserved
+	// rows, so regular rows stay open across RNG mode.
+	if c.OpenBankCount() != 2 {
+		t.Fatalf("open banks = %d, want 2", c.OpenBankCount())
+	}
+	if !c.Banks[0].RowHit(42) {
+		t.Fatal("row buffer lost across Block")
+	}
+	if c.CanACT(2, 99) || c.CanRD(0, 99) || c.CanPRE(0, 99) {
+		t.Fatal("command legal during block")
+	}
+	if !c.CanACT(2, 100) {
+		t.Fatal("ACT illegal after block ends")
+	}
+	if !c.CanRD(0, 101) { // command bus used by the ACT at 100
+		t.Fatal("RD to surviving row illegal after block")
+	}
+}
+
+func TestTickStatsCountsActiveTicks(t *testing.T) {
+	c := newTestChannel()
+	c.TickStats() // idle tick
+	c.IssueACT(0, 0, 0)
+	c.TickStats() // active tick
+	if c.ActiveTick != 1 {
+		t.Fatalf("ActiveTick = %d, want 1", c.ActiveTick)
+	}
+}
+
+func TestDeviceConstruction(t *testing.T) {
+	d, err := NewDevice(DefaultGeometry(), DDR3_1600())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Channels) != 4 {
+		t.Fatalf("channels = %d", len(d.Channels))
+	}
+	if d.Channel(0) == d.Channel(1) {
+		t.Fatal("channels alias")
+	}
+}
+
+func TestDeviceRejectsBadConfig(t *testing.T) {
+	if _, err := NewDevice(Geometry{}, DDR3_1600()); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	bad := DDR3_1600()
+	bad.REFI = 0
+	if _, err := NewDevice(DefaultGeometry(), bad); err == nil {
+		t.Fatal("bad timing accepted")
+	}
+}
+
+func TestMustDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDevice did not panic on bad geometry")
+		}
+	}()
+	MustDevice(Geometry{}, DDR3_1600())
+}
+
+func TestTotalCommandCounts(t *testing.T) {
+	d := MustDevice(DefaultGeometry(), DDR3_1600())
+	d.Channel(0).IssueACT(0, 0, 0)
+	d.Channel(1).IssueACT(3, 7, 0)
+	acts, _, _, _, _ := d.TotalCommandCounts()
+	if acts != 2 {
+		t.Fatalf("acts = %d, want 2", acts)
+	}
+}
+
+func TestIllegalCommandPanics(t *testing.T) {
+	cases := []func(c *Channel){
+		func(c *Channel) { c.IssueRD(0, 0) },                          // bank closed
+		func(c *Channel) { c.IssueWR(0, 0) },                          // bank closed
+		func(c *Channel) { c.IssuePRE(0, 0) },                         // bank closed
+		func(c *Channel) { c.IssueACT(0, 0, 0); c.IssueACT(0, 1, 5) }, // bank open
+		func(c *Channel) { c.IssueREF(0); _ = 0; c.IssueREF(1) },      // during refresh
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: illegal command did not panic", i)
+				}
+			}()
+			f(newTestChannel())
+		}()
+	}
+}

@@ -1,0 +1,164 @@
+// Package metrics implements the paper's evaluation metrics (Section
+// 7): normalized execution time (slowdown), weighted speedup for
+// multicore throughput, the MCPI-based unfairness index, geometric
+// means, and the box-plot statistics its distribution figures use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Slowdown is shared execution time over alone execution time for the
+// same instruction count. 1.0 means no interference.
+func Slowdown(sharedTicks, aloneTicks int64) float64 {
+	if aloneTicks <= 0 {
+		return 0
+	}
+	return float64(sharedTicks) / float64(aloneTicks)
+}
+
+// mcpiFloor guards the memory-slowdown ratio against near-zero MCPIs
+// of compute-bound applications, which would otherwise explode the
+// unfairness index on noise.
+const mcpiFloor = 0.02
+
+// MemSlowdown is the paper's memory-related slowdown: the memory stall
+// time per instruction when sharing, normalized to running alone.
+func MemSlowdown(mcpiShared, mcpiAlone float64) float64 {
+	if mcpiShared < mcpiFloor {
+		mcpiShared = mcpiFloor
+	}
+	if mcpiAlone < mcpiFloor {
+		mcpiAlone = mcpiFloor
+	}
+	return mcpiShared / mcpiAlone
+}
+
+// Unfairness is max(MemSlowdown) / min(MemSlowdown) across the
+// workload's applications [Gabor+ MICRO'06, Moscibroda+ USENIX Sec'07,
+// Mutlu+ MICRO'07]. 1.0 means perfectly fair.
+func Unfairness(memSlowdowns []float64) float64 {
+	if len(memSlowdowns) == 0 {
+		return 0
+	}
+	min, max := memSlowdowns[0], memSlowdowns[0]
+	for _, v := range memSlowdowns[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min <= 0 {
+		return 0
+	}
+	return max / min
+}
+
+// WeightedSpeedup is the multicore job-throughput metric [Snavely+
+// ASPLOS'00]: the sum over applications of IPC_shared / IPC_alone.
+func WeightedSpeedup(sharedIPC, aloneIPC []float64) float64 {
+	if len(sharedIPC) != len(aloneIPC) {
+		panic("metrics: weighted speedup needs matching slices")
+	}
+	ws := 0.0
+	for i := range sharedIPC {
+		if aloneIPC[i] > 0 {
+			ws += sharedIPC[i] / aloneIPC[i]
+		}
+	}
+	return ws
+}
+
+// Mean is the arithmetic mean; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GMean is the geometric mean; 0 for empty input or any non-positive
+// element.
+func GMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// BoxStats summarizes a distribution the way the paper's
+// box-and-whiskers figures do: quartiles, median, whisker bounds at
+// 1.5 IQR, and outliers beyond them.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+	WhiskerLow, WhiskerHigh  float64
+	Outliers                 []float64
+}
+
+// Box computes BoxStats over xs. It panics on empty input: a box plot
+// of nothing is a caller bug.
+func Box(xs []float64) BoxStats {
+	if len(xs) == 0 {
+		panic("metrics: Box of empty data")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b := BoxStats{
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+	}
+	iqr := b.Q3 - b.Q1
+	lo, hi := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.WhiskerLow, b.WhiskerHigh = b.Max, b.Min
+	for _, v := range s {
+		if v < lo || v > hi {
+			b.Outliers = append(b.Outliers, v)
+			continue
+		}
+		if v < b.WhiskerLow {
+			b.WhiskerLow = v
+		}
+		if v > b.WhiskerHigh {
+			b.WhiskerHigh = v
+		}
+	}
+	return b
+}
+
+// quantile is the linear-interpolation quantile of pre-sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the box compactly for reports.
+func (b BoxStats) String() string {
+	return fmt.Sprintf("min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f outliers=%d",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, len(b.Outliers))
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlowdown(t *testing.T) {
+	if Slowdown(200, 100) != 2 {
+		t.Fatal("slowdown wrong")
+	}
+	if Slowdown(100, 0) != 0 {
+		t.Fatal("zero alone time should yield 0")
+	}
+}
+
+func TestMemSlowdownFloors(t *testing.T) {
+	// Tiny MCPIs must not explode the ratio.
+	if got := MemSlowdown(0.001, 0.0001); got != 1 {
+		t.Fatalf("floored ratio = %v, want 1", got)
+	}
+	if got := MemSlowdown(0.4, 0.2); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ratio = %v, want 2", got)
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	if got := Unfairness([]float64{1, 2, 4}); got != 4 {
+		t.Fatalf("unfairness = %v, want 4", got)
+	}
+	if got := Unfairness([]float64{2, 2}); got != 1 {
+		t.Fatalf("equal slowdowns: %v, want 1", got)
+	}
+	if Unfairness(nil) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+	if Unfairness([]float64{0, 1}) != 0 {
+		t.Fatal("non-positive slowdown should yield 0")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if ws != 1.5 {
+		t.Fatalf("WS = %v, want 1.5", ws)
+	}
+}
+
+func TestWeightedSpeedupPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanAndGMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if g := GMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("gmean = %v, want 2", g)
+	}
+	if GMean([]float64{1, 0}) != 0 {
+		t.Fatal("gmean with zero should be 0")
+	}
+	if GMean(nil) != 0 {
+		t.Fatal("empty gmean")
+	}
+}
+
+func TestBoxQuartiles(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 5})
+	if b.Median != 3 || b.Min != 1 || b.Max != 5 {
+		t.Fatalf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v, %v", b.Q1, b.Q3)
+	}
+	if len(b.Outliers) != 0 {
+		t.Fatal("no outliers expected")
+	}
+}
+
+func TestBoxOutliers(t *testing.T) {
+	data := []float64{1, 2, 2, 3, 3, 3, 4, 4, 100}
+	b := Box(data)
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v", b.Outliers)
+	}
+	if b.WhiskerHigh >= 100 {
+		t.Fatal("whisker includes outlier")
+	}
+	if b.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestBoxSingleton(t *testing.T) {
+	b := Box([]float64{7})
+	if b.Median != 7 || b.Q1 != 7 || b.Q3 != 7 {
+		t.Fatalf("singleton box = %+v", b)
+	}
+}
+
+func TestBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Box(nil)
+}
+
+func TestBoxDoesNotMutateInput(t *testing.T) {
+	data := []float64{3, 1, 2}
+	Box(data)
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: quartiles are ordered and bounded by min/max.
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1000))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := Box(xs)
+		sort.Float64s(xs)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.Q3 <= b.Max && b.Min == xs[0] && b.Max == xs[len(xs)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unfairness >= 1 for positive inputs.
+func TestUnfairnessAtLeastOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if v := math.Abs(math.Mod(v, 100)) + 0.01; v > 0 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return Unfairness(xs) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

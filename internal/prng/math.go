@@ -1,0 +1,7 @@
+package prng
+
+import "math"
+
+// Thin aliases so the distribution code reads like the textbook formulas.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func log(x float64) float64  { return math.Log(x) }

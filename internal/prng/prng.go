@@ -1,0 +1,142 @@
+// Package prng provides small, fast, deterministic pseudo-random number
+// generators used by the simulator's workload generators and entropy
+// models.
+//
+// The simulator must be bit-reproducible across runs and across Go
+// releases, so it does not use math/rand. Instead it ships a SplitMix64
+// seeder and a xoshiro256** generator, both with published reference
+// outputs that the test suite pins down.
+//
+// Note: these generators drive *simulation* (synthetic traces, process
+// variation models). They are not the true random numbers the simulated
+// DRAM TRNG produces; those come out of internal/trng's entropy-cell
+// model, which consumes this package only as its physical-noise source.
+package prng
+
+// SplitMix64 is the 64-bit SplitMix generator of Steele, Lea and Flood.
+// It is primarily used to derive well-distributed seeds for Xoshiro from
+// a single human-chosen seed. The zero value is a valid generator seeded
+// with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements xoshiro256** 1.0 by Blackman and Vigna.
+// It has a 256-bit state, passes BigCrush, and is the workhorse
+// generator of the simulator.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is derived from seed via
+// SplitMix64, as recommended by the xoshiro authors. Any seed, including
+// zero, yields a usable generator.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// An all-zero state would be a fixed point; SplitMix64 cannot emit
+	// four consecutive zeros, so no further guard is needed.
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless method would be faster, but the
+	// simple modulo of a 64-bit draw has negligible bias for the n used
+	// by the simulator (all far below 2^32) and is easier to verify.
+	return int(x.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (x *Xoshiro256) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return x.Float64() < p
+}
+
+// Geometric returns a draw from a geometric distribution with success
+// probability p: the number of failures before the first success
+// (support {0, 1, 2, ...}, mean (1-p)/p). It panics if p <= 0 or p > 1.
+func (x *Xoshiro256) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("prng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	n := 0
+	for !x.Bernoulli(p) {
+		n++
+		if n == 1<<20 {
+			// Safety valve: with any sane p the loop terminates long
+			// before this; guards against p underflowing toward 0.
+			break
+		}
+	}
+	return n
+}
+
+// Normal returns a draw from a normal distribution with the given mean
+// and standard deviation, using the polar Box-Muller transform.
+func (x *Xoshiro256) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*x.Float64() - 1
+		v := 2*x.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			// math.Sqrt and math.Log are deterministic across
+			// platforms for the IEEE-754 values reachable here.
+			return mean + stddev*u*sqrtNeg2LogOver(s)
+		}
+	}
+}
+
+// sqrtNeg2LogOver computes sqrt(-2 ln(s) / s) without importing math in
+// the hot path signature; split out for testability.
+func sqrtNeg2LogOver(s float64) float64 {
+	return sqrt(-2 * log(s) / s)
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+
+	"drstrange/internal/core"
+	"drstrange/internal/memctrl"
+	"drstrange/internal/metrics"
+	"drstrange/internal/workload"
+)
+
+// Ablation helpers for the design choices DESIGN.md calls out beyond
+// the paper's own ablations (Figures 10-15).
+
+// PredictorTableSweep measures simple-predictor accuracy as a function
+// of table size, averaged over a representative workload sample.
+func PredictorTableSweep(entries int, instr int64) float64 {
+	sample := []string{"ycsb0", "soplex", "lbm", "libq"}
+	var accs []float64
+	for _, app := range sample {
+		mix := workload.Mix{Name: app + "+rng", Apps: []string{app}, RNGMbps: 5120}
+		w := Evaluate(RunConfig{
+			Design:       DesignDRStrange,
+			Mix:          mix,
+			Instructions: instr,
+			TweakID:      fmt.Sprintf("predtable-%d", entries),
+			Tweak: func(cfg *memctrl.Config) {
+				cfg.Predictor = core.NewSimplePredictor(cfg.Geom.Channels, entries, cfg.PeriodThreshold)
+			},
+		})
+		accs = append(accs, w.PredictorAccuracy)
+	}
+	return metrics.Mean(accs)
+}
+
+// StallLimitSweep reports how the starvation stall limit affects the
+// override count and slowdowns on a contended workload.
+func StallLimitSweep(limits []int64, instr int64) string {
+	mix := workload.Mix{Name: "lbm+rng", Apps: []string{"lbm"}, RNGMbps: 5120}
+	out := ""
+	for _, lim := range limits {
+		w := Evaluate(RunConfig{
+			Design:       DesignDRStrange,
+			Mix:          mix,
+			Instructions: instr,
+			TweakID:      fmt.Sprintf("stall-%d", lim),
+			Tweak: func(cfg *memctrl.Config) {
+				cfg.StallLimit = lim
+			},
+		})
+		out += fmt.Sprintf("limit=%5d: overrides=%d nonRNG=%.3f rng=%.3f\n",
+			lim, w.Ctrl.StarvationOverrides, w.NonRNGSlowdown, w.RNGSlowdown)
+	}
+	return out
+}

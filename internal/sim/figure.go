@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one line/bar group of a figure: a named sequence of values
+// aligned with the figure's labels.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a reproduced table or figure: labeled columns, one row per
+// series, plus free-form notes (calibration remarks, paper reference
+// values).
+type Figure struct {
+	ID     string
+	Title  string
+	Labels []string
+	Series []Series
+	Notes  []string
+}
+
+// Render formats the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	nameW := len("series")
+	for _, s := range f.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	colW := make([]int, len(f.Labels))
+	for i, l := range f.Labels {
+		colW[i] = len(l)
+		if colW[i] < 7 {
+			colW[i] = 7
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "series")
+	for i, l := range f.Labels {
+		fmt.Fprintf(&b, " %*s", colW[i], l)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-*s", nameW+2, s.Name)
+		for i, v := range s.Values {
+			w := 7
+			if i < len(colW) {
+				w = colW[i]
+			}
+			fmt.Fprintf(&b, " %*.3f", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// HeadlineValue returns a single representative number for benchmark
+// reporting: the mean of the last series (conventionally the
+// AVG/GMEAN-bearing one).
+func (f *Figure) Headline() float64 {
+	if len(f.Series) == 0 {
+		return 0
+	}
+	last := f.Series[len(f.Series)-1]
+	sum := 0.0
+	for _, v := range last.Values {
+		sum += v
+	}
+	if len(last.Values) == 0 {
+		return 0
+	}
+	return sum / float64(len(last.Values))
+}

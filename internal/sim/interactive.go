@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+
+	"drstrange/internal/cpu"
+	"drstrange/internal/memctrl"
+	"drstrange/internal/trng"
+	"drstrange/internal/workload"
+)
+
+// Interactive is a live simulated system for the application-interface
+// examples: callers request true random words one at a time and
+// observe real service latencies (buffer hit or DRAM generation) while
+// optional background applications keep the memory system busy. It
+// implements core.WordRequester, so core.NewSyscall(Interactive) is the
+// full getrandom() path of Section 5.3.
+type Interactive struct {
+	ctrl *memctrl.Controller
+	gen  *trng.Generator
+	bg   []*cpu.Core
+	now  int64
+	id   int // core id of the interactive requester
+}
+
+// NewInteractive builds an interactive system under the given design
+// with the named background applications (may be empty). The entropy
+// backend is a D-RaNGe generator over a simulated cell array.
+func NewInteractive(design Design, background []string, seed uint64) *Interactive {
+	mech := trng.DRaNGe()
+	nCores := len(background) + 1
+	cfg := buildConfig(design, nCores, mech, 0, nil)
+	ctrl, err := memctrl.NewController(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("sim: interactive config: %v", err))
+	}
+	s := &Interactive{
+		ctrl: ctrl,
+		gen:  trng.NewDRaNGeGenerator(trng.NewCellArray(1<<16, seed), 0.05),
+		id:   len(background),
+	}
+	ccfg := cpu.DefaultConfig()
+	for i, app := range background {
+		p := workload.MustByName(app)
+		tr := p.NewTrace(cfg.Geom, 1000+i*4096, seed+uint64(i))
+		// Background cores never "finish": give them a huge target.
+		s.bg = append(s.bg, cpu.NewCore(i, tr, ctrl, ccfg, 1<<60))
+	}
+	return s
+}
+
+// Now returns the current simulated tick.
+func (s *Interactive) Now() int64 { return s.now }
+
+// Stats exposes the controller counters.
+func (s *Interactive) Stats() memctrl.Stats { return s.ctrl.Stats() }
+
+func (s *Interactive) tick() {
+	s.ctrl.Tick(s.now)
+	for _, c := range s.bg {
+		c.Tick(s.now)
+	}
+	s.now++
+}
+
+// Idle advances the system n ticks without requesting anything (lets
+// the buffer fill during idle periods).
+func (s *Interactive) Idle(n int64) {
+	for i := int64(0); i < n; i++ {
+		s.tick()
+	}
+}
+
+// RequestWord implements core.WordRequester: submit one 64-bit RNG
+// request and run the system until it completes.
+func (s *Interactive) RequestWord() (uint64, int64) {
+	start := s.now
+	var req *memctrl.Request
+	for {
+		r, ok := s.ctrl.SubmitRNG(s.id, s.now)
+		if ok {
+			req = r
+			break
+		}
+		s.tick() // RNG queue full: wait
+	}
+	for !req.Done {
+		s.tick()
+	}
+	return s.gen.Word64(), s.now - start
+}

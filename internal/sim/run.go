@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"drstrange/internal/cpu"
+	"drstrange/internal/energy"
+	"drstrange/internal/memctrl"
+	"drstrange/internal/metrics"
+	"drstrange/internal/trng"
+	"drstrange/internal/workload"
+)
+
+// DefaultInstructions is the per-core instruction budget of a measured
+// run. The environment variable DRSTRANGE_INSTR overrides it (larger
+// budgets sharpen the statistics at proportional simulation cost).
+func DefaultInstructions() int64 {
+	if v := os.Getenv("DRSTRANGE_INSTR"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 100_000
+}
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	Design Design
+	Mix    workload.Mix
+	// Mech is the TRNG mechanism; the zero value selects D-RaNGe
+	// (Section 7's default).
+	Mech trng.Mechanism
+	// BufferWords sizes the random number buffer; <= 0 selects the
+	// design default (16).
+	BufferWords int
+	// Instructions is the per-core measurement budget; <= 0 selects
+	// DefaultInstructions().
+	Instructions int64
+	// Priorities optionally assigns OS priorities per core (RNG
+	// benchmark core is the last).
+	Priorities []int
+	// OnIdlePeriod observes idle periods (Figure 5/18 profiling).
+	// Runs with a callback are never memoized.
+	OnIdlePeriod func(ch int, length int64)
+	// Seed perturbs the workload traces.
+	Seed uint64
+	// Tweak optionally adjusts the controller configuration after the
+	// design's defaults are applied (ablation studies). TweakID must
+	// uniquely name the adjustment: it keys the run memoization.
+	Tweak   func(*memctrl.Config)
+	TweakID string
+}
+
+func (c *RunConfig) normalize() {
+	if c.Mech.Name == "" {
+		c.Mech = trng.DRaNGe()
+	}
+	if c.Instructions <= 0 {
+		c.Instructions = DefaultInstructions()
+	}
+}
+
+// AppResult is one application's measured outcome.
+type AppResult struct {
+	Name    string
+	IsRNG   bool
+	Ticks   int64 // memory ticks to retire the instruction budget
+	Retired int64
+	IPC     float64 // instructions per memory tick
+	MPKI    float64
+	MCPI    float64
+	// RNGStallFrac is the fraction of execution ticks stalled on
+	// random number requests.
+	RNGStallFrac float64
+}
+
+// RunResult is a completed simulation.
+type RunResult struct {
+	Apps       []AppResult
+	Ctrl       memctrl.Stats
+	Counts     energy.Counts
+	Energy     energy.Breakdown
+	TotalTicks int64
+	// MemBusyChannelTicks is channel-ticks spent actively serving
+	// requests or generating random numbers — the paper's "total time
+	// spent for RNG and non-RNG memory accesses" (Section 8.9).
+	MemBusyChannelTicks int64
+}
+
+// rngAppName names the synthetic RNG benchmark in results.
+func rngAppName(mbps float64) string { return fmt.Sprintf("rng-%dMbps", int(mbps)) }
+
+// Run executes one simulation to completion: every core retires its
+// instruction budget (finished cores keep generating traffic, the
+// standard multiprogrammed methodology).
+func Run(cfg RunConfig) RunResult {
+	cfg.normalize()
+	mcfg := buildConfig(cfg.Design, cfg.Mix.Cores(), cfg.Mech, cfg.BufferWords, cfg.Priorities)
+	mcfg.OnIdlePeriod = cfg.OnIdlePeriod
+	if cfg.Tweak != nil {
+		cfg.Tweak(&mcfg)
+	}
+	ctrl, err := memctrl.NewController(mcfg)
+	if err != nil {
+		panic(fmt.Sprintf("sim: bad controller config: %v", err))
+	}
+
+	geom := mcfg.Geom
+	ccfg := cpu.DefaultConfig()
+	var cores []*cpu.Core
+	names := make([]string, 0, cfg.Mix.Cores())
+	for i, app := range cfg.Mix.Apps {
+		p := workload.MustByName(app)
+		tr := p.NewTrace(geom, 1000+i*4096, cfg.Seed+uint64(i)*7919)
+		cores = append(cores, cpu.NewCore(i, tr, ctrl, ccfg, cfg.Instructions))
+		names = append(names, app)
+	}
+	if cfg.Mix.RNGMbps > 0 {
+		rc := workload.DefaultRNGTraceConfig(cfg.Mix.RNGMbps)
+		rc.Seed ^= cfg.Seed
+		tr := workload.NewRNGTrace(rc, geom)
+		cores = append(cores, cpu.NewCore(len(cores), tr, ctrl, ccfg, cfg.Instructions))
+		names = append(names, rngAppName(cfg.Mix.RNGMbps))
+	}
+	if len(cores) == 0 {
+		panic("sim: empty mix")
+	}
+
+	maxTicks := cfg.Instructions * 2000
+	now := int64(0)
+	for ; now < maxTicks; now++ {
+		ctrl.Tick(now)
+		done := true
+		for _, c := range cores {
+			c.Tick(now)
+			if !c.Finished() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if now >= maxTicks {
+		panic(fmt.Sprintf("sim: run exceeded %d ticks (design=%v mix=%s)", maxTicks, cfg.Design, cfg.Mix.Name))
+	}
+
+	res := RunResult{TotalTicks: now + 1, Ctrl: ctrl.Stats()}
+	for i, c := range cores {
+		st := c.Stats()
+		ticks := st.FinishTick + 1
+		ipc := 0.0
+		if ticks > 0 {
+			ipc = float64(st.Retired) / float64(ticks)
+		}
+		res.Apps = append(res.Apps, AppResult{
+			Name:         names[i],
+			IsRNG:        st.Rands > 0,
+			Ticks:        ticks,
+			Retired:      st.Retired,
+			IPC:          ipc,
+			MPKI:         st.MPKI(),
+			MCPI:         st.MCPI(),
+			RNGStallFrac: frac(st.StallRNGTicks, ticks),
+		})
+	}
+	res.Counts = energy.CountsFrom(ctrl.Device(), res.TotalTicks, res.Ctrl.RNGRounds)
+	res.Energy = energy.Compute(energy.DDR3Params(), mcfg.Timing, res.Counts)
+	res.MemBusyChannelTicks = res.Counts.ActiveTicks + res.Ctrl.TicksRNGMode
+	return res
+}
+
+func frac(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// WorkloadResult couples a shared run with the alone-run baselines and
+// the derived paper metrics.
+type WorkloadResult struct {
+	Mix    workload.Mix
+	Design Design
+
+	// Per-app slowdowns (shared ticks / alone-on-baseline ticks), in
+	// mix order with the RNG benchmark last.
+	Slowdowns []float64
+	// NonRNGSlowdown averages the non-RNG apps' slowdowns.
+	NonRNGSlowdown float64
+	// RNGSlowdown is the RNG benchmark's slowdown (0 if none).
+	RNGSlowdown float64
+	// Unfairness is the max/min memory-slowdown ratio.
+	Unfairness float64
+	// WeightedSpeedup sums IPC_shared/IPC_alone over non-RNG apps.
+	WeightedSpeedup float64
+
+	BufferServeRate   float64
+	PredictorAccuracy float64
+	EnergyJ           float64
+	MemBusyTicks      int64
+	TotalTicks        int64
+	RNGStallFrac      float64
+	Ctrl              memctrl.Stats
+}
+
+// Evaluate runs the workload under the design and derives the metrics
+// the figures plot. Shared runs and alone runs are memoized
+// process-wide, so figures sharing configurations (e.g. Figures 6 and
+// 9) pay for each simulation once.
+func Evaluate(cfg RunConfig) WorkloadResult {
+	cfg.normalize()
+	shared := memoRun(cfg)
+
+	w := WorkloadResult{
+		Mix:               cfg.Mix,
+		Design:            cfg.Design,
+		BufferServeRate:   shared.Ctrl.BufferServeRate(),
+		PredictorAccuracy: shared.Ctrl.PredictorAccuracy(),
+		EnergyJ:           shared.Energy.Total,
+		MemBusyTicks:      shared.MemBusyChannelTicks,
+		TotalTicks:        shared.TotalTicks,
+		Ctrl:              shared.Ctrl,
+	}
+
+	var memSlow []float64
+	var sharedIPC, aloneIPC []float64
+	var nonRNG []float64
+	for _, app := range shared.Apps {
+		aloneBase := aloneResult(app, cfg, DesignOblivious)
+		aloneSame := aloneResult(app, cfg, cfg.Design)
+		sd := metrics.Slowdown(app.Ticks, aloneBase.Ticks)
+		w.Slowdowns = append(w.Slowdowns, sd)
+		memSlow = append(memSlow, metrics.MemSlowdown(app.MCPI, aloneSame.MCPI))
+		if app.IsRNG {
+			w.RNGSlowdown = sd
+			w.RNGStallFrac = app.RNGStallFrac
+		} else {
+			nonRNG = append(nonRNG, sd)
+			sharedIPC = append(sharedIPC, app.IPC)
+			aloneIPC = append(aloneIPC, aloneBase.IPC)
+		}
+	}
+	w.NonRNGSlowdown = metrics.Mean(nonRNG)
+	w.Unfairness = metrics.Unfairness(memSlow)
+	w.WeightedSpeedup = metrics.WeightedSpeedup(sharedIPC, aloneIPC)
+	return w
+}

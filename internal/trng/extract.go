@@ -1,0 +1,118 @@
+package trng
+
+import "math"
+
+// Post-processing and characterization utilities of the D-RaNGe
+// pipeline: real deployments measure per-cell failure statistics (bit
+// error rate characterization), estimate the entropy of the raw
+// stream, and optionally de-bias cells with a Von Neumann extractor
+// when no cell passes the strict 0.5-probability selection.
+
+// VonNeumann de-biases a raw bit stream: consecutive bit pairs map
+// 01 -> 0, 10 -> 1, and 00/11 are discarded. The output of a
+// Bernoulli(p) source is exactly uniform for any p in (0,1) at the
+// cost of a p(1-p)-proportional rate. It returns the extracted bits
+// packed into words and the number of valid output bits.
+func VonNeumann(raw []uint64, nbits int) (out []uint64, outBits int) {
+	var cur uint64
+	fill := 0
+	emit := func(b uint64) {
+		cur = cur<<1 | b
+		fill++
+		outBits++
+		if fill == 64 {
+			out = append(out, cur)
+			cur, fill = 0, 0
+		}
+	}
+	total := len(raw) * 64
+	if nbits < total {
+		total = nbits
+	}
+	for i := 0; i+1 < total; i += 2 {
+		b0 := raw[i/64] >> (63 - uint(i%64)) & 1
+		j := i + 1
+		b1 := raw[j/64] >> (63 - uint(j%64)) & 1
+		if b0 != b1 {
+			emit(b0)
+		}
+	}
+	if fill > 0 {
+		out = append(out, cur<<(64-uint(fill)))
+	}
+	return out, outBits
+}
+
+// ShannonEntropyPerBit estimates the binary Shannon entropy of a bit
+// stream from its ones-density: H = -p log2 p - (1-p) log2 (1-p).
+// A good TRNG stream approaches 1.0 bit of entropy per bit.
+func ShannonEntropyPerBit(words []uint64) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, w := range words {
+		ones += popcount(w)
+	}
+	n := len(words) * 64
+	p := float64(ones) / float64(n)
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// MinEntropyPerBit estimates min-entropy (the NIST SP 800-90B notion
+// for IID sources) from the most-common-value frequency over bytes:
+// H_min = -log2(max byte frequency) / 8.
+func MinEntropyPerBit(words []uint64) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			counts[w>>(8*i)&0xFF]++
+		}
+	}
+	n := len(words) * 8
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	pmax := float64(max) / float64(n)
+	// Ruhkin's upper-bound correction for finite samples is omitted:
+	// the simulator feeds large sample counts.
+	return -math.Log2(pmax) / 8
+}
+
+// CharacterizeBER measures each cell's empirical one-probability over
+// reads samples per cell — the characterization step a real D-RaNGe
+// deployment runs at install time (the simulator's SelectRNGCells can
+// consult latent probabilities; this is the realistic estimator).
+func CharacterizeBER(cells *CellArray, reads int) []float64 {
+	probs := make([]float64, cells.Len())
+	for i := range probs {
+		ones := 0
+		for r := 0; r < reads; r++ {
+			ones += int(cells.Sample(i))
+		}
+		probs[i] = float64(ones) / float64(reads)
+	}
+	return probs
+}
+
+// SelectByCharacterization picks RNG cells from empirically measured
+// probabilities, mirroring SelectRNGCells but without access to latent
+// ground truth.
+func SelectByCharacterization(probs []float64, tol float64) []int {
+	var sel []int
+	for i, p := range probs {
+		if p >= 0.5-tol && p <= 0.5+tol {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}

@@ -1,0 +1,164 @@
+package trng
+
+import (
+	"math"
+	"testing"
+
+	"drstrange/internal/prng"
+)
+
+// biasedWords builds a stream of Bernoulli(p) bits.
+func biasedWords(p float64, n int, seed uint64) []uint64 {
+	rng := prng.NewXoshiro256(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		var w uint64
+		for b := 0; b < 64; b++ {
+			w <<= 1
+			if rng.Bernoulli(p) {
+				w |= 1
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func TestVonNeumannDebiases(t *testing.T) {
+	raw := biasedWords(0.8, 4096, 9) // heavily biased source
+	if Monobit(raw).Passed {
+		t.Fatal("test setup: biased input passed monobit")
+	}
+	out, bits := VonNeumann(raw, len(raw)*64)
+	if bits < 1000 {
+		t.Fatalf("too few extracted bits: %d", bits)
+	}
+	// The fully-packed words must be unbiased.
+	full := out[:bits/64]
+	if r := Monobit(full); !r.Passed {
+		t.Fatalf("Von Neumann output failed monobit (p=%v)", r.Score)
+	}
+}
+
+func TestVonNeumannRate(t *testing.T) {
+	// Expected yield for Bernoulli(p): p(1-p) per input pair.
+	raw := biasedWords(0.5, 4096, 4)
+	_, bits := VonNeumann(raw, len(raw)*64)
+	want := float64(len(raw)*64) / 2 * 0.25 * 2 // pairs * 2p(1-p)
+	if math.Abs(float64(bits)-want)/want > 0.1 {
+		t.Fatalf("extraction rate %d, want ~%.0f", bits, want)
+	}
+}
+
+func TestVonNeumannEmpty(t *testing.T) {
+	out, bits := VonNeumann(nil, 0)
+	if out != nil || bits != 0 {
+		t.Fatal("empty input should extract nothing")
+	}
+	// Constant input extracts nothing (all pairs equal).
+	same := []uint64{^uint64(0), ^uint64(0)}
+	if _, bits := VonNeumann(same, 128); bits != 0 {
+		t.Fatalf("constant input extracted %d bits", bits)
+	}
+}
+
+func TestVonNeumannRespectsNbits(t *testing.T) {
+	raw := biasedWords(0.5, 64, 5)
+	_, all := VonNeumann(raw, len(raw)*64)
+	_, half := VonNeumann(raw, len(raw)*32)
+	if half >= all {
+		t.Fatalf("nbits limit ignored: %d !< %d", half, all)
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	uniform := biasedWords(0.5, 2048, 7)
+	if h := ShannonEntropyPerBit(uniform); h < 0.999 {
+		t.Fatalf("uniform entropy %v, want ~1", h)
+	}
+	biased := biasedWords(0.9, 2048, 7)
+	h := ShannonEntropyPerBit(biased)
+	want := -0.9*math.Log2(0.9) - 0.1*math.Log2(0.1) // ~0.469
+	if math.Abs(h-want) > 0.02 {
+		t.Fatalf("biased entropy %v, want ~%v", h, want)
+	}
+	if ShannonEntropyPerBit(nil) != 0 {
+		t.Fatal("empty stream entropy nonzero")
+	}
+	if ShannonEntropyPerBit([]uint64{0, 0}) != 0 {
+		t.Fatal("constant stream entropy nonzero")
+	}
+}
+
+func TestMinEntropy(t *testing.T) {
+	uniform := biasedWords(0.5, 4096, 11)
+	if h := MinEntropyPerBit(uniform); h < 0.9 {
+		t.Fatalf("uniform min-entropy %v, want ~1", h)
+	}
+	constant := make([]uint64, 1024)
+	if h := MinEntropyPerBit(constant); h != 0 {
+		t.Fatalf("constant min-entropy %v, want 0", h)
+	}
+	if MinEntropyPerBit(nil) != 0 {
+		t.Fatal("empty min-entropy nonzero")
+	}
+	// Min-entropy lower-bounds Shannon entropy.
+	biased := biasedWords(0.7, 4096, 13)
+	if MinEntropyPerBit(biased) > ShannonEntropyPerBit(biased) {
+		t.Fatal("min-entropy exceeded Shannon entropy")
+	}
+}
+
+func TestCharacterizationMatchesLatent(t *testing.T) {
+	cells := NewCellArray(256, 21)
+	probs := CharacterizeBER(cells, 2000)
+	worst := 0.0
+	for i, p := range probs {
+		if d := math.Abs(p - cells.probs[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("characterization error %v too high", worst)
+	}
+}
+
+func TestSelectByCharacterizationAgrees(t *testing.T) {
+	cells := NewCellArray(4096, 23)
+	probs := CharacterizeBER(cells, 3000)
+	measured := SelectByCharacterization(probs, 0.06)
+	if len(measured) == 0 {
+		t.Fatal("characterization selected no cells")
+	}
+	// Every selected cell's latent probability is near 0.5 (allowing
+	// estimation slack beyond the selection tolerance).
+	for _, i := range measured {
+		if math.Abs(cells.probs[i]-0.5) > 0.12 {
+			t.Fatalf("cell %d latent p=%v selected as RNG cell", i, cells.probs[i])
+		}
+	}
+}
+
+func TestSelectedCellStreamQuality(t *testing.T) {
+	// End-to-end D-RaNGe characterization path: characterize, select,
+	// sample the selected cells, verify entropy.
+	cells := NewCellArray(8192, 29)
+	probs := CharacterizeBER(cells, 1500)
+	sel := SelectByCharacterization(probs, 0.05)
+	if len(sel) == 0 {
+		t.Skip("no cells selected at this seed")
+	}
+	words := make([]uint64, 1024)
+	k := 0
+	for i := range words {
+		var w uint64
+		for b := 0; b < 64; b++ {
+			w = w<<1 | cells.Sample(sel[k])
+			k = (k + 1) % len(sel)
+		}
+		words[i] = w
+	}
+	if h := ShannonEntropyPerBit(words); h < 0.99 {
+		t.Fatalf("selected-cell stream entropy %v", h)
+	}
+}
