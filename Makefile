@@ -1,0 +1,36 @@
+# Local verification targets mirroring .github/workflows/ci.yml, so
+# "make ci" reproduces exactly what CI enforces.
+
+GO ?= go
+
+.PHONY: all build test race fmt vet bench-smoke figures ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of the Figure 1 driver at a small budget: end-to-end
+# smoke of the sweep machinery.
+bench-smoke:
+	DRSTRANGE_INSTR=5000 $(GO) test -run '^$$' -bench BenchmarkFigure1 -benchtime 1x .
+
+# Regenerate every figure at the default budget (slow; honors
+# DRSTRANGE_INSTR and DRSTRANGE_WORKERS).
+figures:
+	$(GO) run ./cmd/figures -fig all
+
+ci: fmt vet build test race bench-smoke

@@ -8,7 +8,9 @@ package drstrange_test
 // for each distinct simulation once.
 //
 // Budget: the per-core instruction count defaults to 100k and can be
-// raised via DRSTRANGE_INSTR for sharper statistics.
+// raised via DRSTRANGE_INSTR for sharper statistics. The drivers fan
+// out across a worker pool sized by DRSTRANGE_WORKERS (default
+// GOMAXPROCS); figure output is byte-identical at any worker count.
 
 import (
 	"fmt"
@@ -34,9 +36,7 @@ func runExperiment(b *testing.B, id string) {
 		figs = driver(instr)
 	}
 	if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
-		for _, f := range figs {
-			fmt.Println(f.Render())
-		}
+		fmt.Print(sim.RenderAll(figs))
 	}
 	if len(figs) > 0 {
 		b.ReportMetric(figs[0].Headline(), "headline")

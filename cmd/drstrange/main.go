@@ -37,8 +37,10 @@ func main() {
 	mech := flag.String("mech", "drange", "TRNG mechanism: drange|quac")
 	instr := flag.Int64("instr", sim.DefaultInstructions(), "per-core instruction budget")
 	buffer := flag.Int("buffer", 0, "random number buffer entries (0 = design default)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)")
 	listApps := flag.Bool("listapps", false, "list the application suite and exit")
 	flag.Parse()
+	sim.SetWorkers(*workers)
 
 	if *listApps {
 		for _, p := range workload.Profiles() {

@@ -25,9 +25,11 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "experiment id (see -list) or 'all'")
 	instr := flag.Int64("instr", sim.DefaultInstructions(), "per-core instruction budget")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiment ids")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	flag.Parse()
+	sim.SetWorkers(*workers)
 
 	if *list {
 		for _, id := range sim.ExperimentIDs() {

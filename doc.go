@@ -8,4 +8,17 @@
 // a tour). The benchmarks in bench_test.go regenerate every table and
 // figure of the paper's evaluation; EXPERIMENTS.md records
 // paper-vs-measured results.
+//
+// Two environment variables tune every driver and benchmark:
+//
+//   - DRSTRANGE_INSTR sets the per-core instruction budget of a
+//     measured run (default 100000; larger budgets sharpen the
+//     statistics at proportional simulation cost).
+//   - DRSTRANGE_WORKERS sizes the experiment engine's worker pool
+//     (default GOMAXPROCS). Independent simulations fan out across
+//     the pool; results are collected in input order, so figure
+//     output is byte-identical at any worker count.
+//
+// Both cmd/drstrange and cmd/figures also accept -instr and -workers
+// flags with the same meaning.
 package drstrange

@@ -1,0 +1,3 @@
+module drstrange
+
+go 1.24

@@ -16,18 +16,20 @@ import (
 // of table size, averaged over a representative workload sample.
 func PredictorTableSweep(entries int, instr int64) float64 {
 	sample := []string{"ycsb0", "soplex", "lbm", "libq"}
-	var accs []float64
-	for _, app := range sample {
-		mix := workload.Mix{Name: app + "+rng", Apps: []string{app}, RNGMbps: 5120}
-		w := Evaluate(RunConfig{
+	cfgs := make([]RunConfig, len(sample))
+	for i, app := range sample {
+		cfgs[i] = RunConfig{
 			Design:       DesignDRStrange,
-			Mix:          mix,
+			Mix:          workload.Mix{Name: app + "+rng", Apps: []string{app}, RNGMbps: 5120},
 			Instructions: instr,
 			TweakID:      fmt.Sprintf("predtable-%d", entries),
 			Tweak: func(cfg *memctrl.Config) {
 				cfg.Predictor = core.NewSimplePredictor(cfg.Geom.Channels, entries, cfg.PeriodThreshold)
 			},
-		})
+		}
+	}
+	var accs []float64
+	for _, w := range evalAll(cfgs) {
 		accs = append(accs, w.PredictorAccuracy)
 	}
 	return metrics.Mean(accs)
@@ -37,9 +39,9 @@ func PredictorTableSweep(entries int, instr int64) float64 {
 // override count and slowdowns on a contended workload.
 func StallLimitSweep(limits []int64, instr int64) string {
 	mix := workload.Mix{Name: "lbm+rng", Apps: []string{"lbm"}, RNGMbps: 5120}
-	out := ""
-	for _, lim := range limits {
-		w := Evaluate(RunConfig{
+	cfgs := make([]RunConfig, len(limits))
+	for i, lim := range limits {
+		cfgs[i] = RunConfig{
 			Design:       DesignDRStrange,
 			Mix:          mix,
 			Instructions: instr,
@@ -47,9 +49,12 @@ func StallLimitSweep(limits []int64, instr int64) string {
 			Tweak: func(cfg *memctrl.Config) {
 				cfg.StallLimit = lim
 			},
-		})
+		}
+	}
+	out := ""
+	for i, w := range evalAll(cfgs) {
 		out += fmt.Sprintf("limit=%5d: overrides=%d nonRNG=%.3f rng=%.3f\n",
-			lim, w.Ctrl.StarvationOverrides, w.NonRNGSlowdown, w.RNGSlowdown)
+			limits[i], w.Ctrl.StarvationOverrides, w.NonRNGSlowdown, w.RNGSlowdown)
 	}
 	return out
 }

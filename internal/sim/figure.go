@@ -62,6 +62,18 @@ func (f *Figure) Render() string {
 	return b.String()
 }
 
+// RenderAll renders the figures in order, one blank line after each —
+// exactly the bytes the drivers conventionally print. The determinism
+// tests compare this output across worker counts.
+func RenderAll(figs []Figure) string {
+	var b strings.Builder
+	for i := range figs {
+		b.WriteString(figs[i].Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // HeadlineValue returns a single representative number for benchmark
 // reporting: the mean of the last series (conventionally the
 // AVG/GMEAN-bearing one).

@@ -15,17 +15,18 @@ import (
 // Figures with the same series the paper plots; EXPERIMENTS.md records
 // the paper-vs-measured comparison.
 
-// evalMixes evaluates a design over a mix list.
+// evalMixes evaluates a design over a mix list on the worker pool,
+// returning results in mix order.
 func evalMixes(d Design, mixes []workload.Mix, instr int64, opt func(*RunConfig)) []WorkloadResult {
-	out := make([]WorkloadResult, 0, len(mixes))
-	for _, m := range mixes {
+	cfgs := make([]RunConfig, len(mixes))
+	for i, m := range mixes {
 		cfg := RunConfig{Design: d, Mix: m, Instructions: instr}
 		if opt != nil {
 			opt(&cfg)
 		}
-		out = append(out, Evaluate(cfg))
+		cfgs[i] = cfg
 	}
-	return out
+	return evalAll(cfgs)
 }
 
 func pluck(rs []WorkloadResult, f func(WorkloadResult) float64) []float64 {
@@ -50,18 +51,20 @@ func Figure1(instr int64) []Figure {
 		Title:  "RNG-oblivious baseline vs required RNG throughput (avg of 43 workloads)",
 		Labels: []string{"640Mb/s", "1280Mb/s", "2560Mb/s", "5120Mb/s"},
 	}
-	var nr, rs, uf []float64
 	perApp := Figure{
 		ID:     "Figure1-apps",
 		Title:  "Per-application slowdown at 5120 Mb/s (RNG-oblivious)",
 		Labels: append(workload.FigureApps(), "AVG"),
 	}
-	for _, lvl := range levels {
-		res := evalMixes(DesignOblivious, workload.TwoCoreMixes(lvl), instr, nil)
-		nr = append(nr, metrics.Mean(pluck(res, nonRNGOf)))
-		rs = append(rs, metrics.Mean(pluck(res, rngOf)))
-		uf = append(uf, metrics.Mean(pluck(res, unfairOf)))
-	}
+	nr := make([]float64, len(levels))
+	rs := make([]float64, len(levels))
+	uf := make([]float64, len(levels))
+	parDo(len(levels), func(i int) {
+		res := evalMixes(DesignOblivious, workload.TwoCoreMixes(levels[i]), instr, nil)
+		nr[i] = metrics.Mean(pluck(res, nonRNGOf))
+		rs[i] = metrics.Mean(pluck(res, rngOf))
+		uf[i] = metrics.Mean(pluck(res, unfairOf))
+	})
 	avg.Series = []Series{
 		{Name: "non-RNG slowdown", Values: nr},
 		{Name: "RNG slowdown", Values: rs},
@@ -92,12 +95,15 @@ func Figure2(instr int64) []Figure {
 	labels := []string{"2", "4", "8", "16", "32", "64"}
 	channels := 4
 	boxSeries := func(f func(WorkloadResult) float64) [6][]float64 {
-		var cols [6][]float64 // min q1 med q3 max (and outlier count)
-		for _, tp := range throughputs {
-			mech := trng.Parametric(tp, channels)
+		boxes := make([]metrics.BoxStats, len(throughputs))
+		parDo(len(throughputs), func(i int) {
+			mech := trng.Parametric(throughputs[i], channels)
 			res := evalMixes(DesignOblivious, workload.TwoCoreMixes(5120), instr,
 				func(c *RunConfig) { c.Mech = mech })
-			b := metrics.Box(pluck(res, f))
+			boxes[i] = metrics.Box(pluck(res, f))
+		})
+		var cols [6][]float64 // min q1 med q3 max (and outlier count)
+		for _, b := range boxes {
 			cols[0] = append(cols[0], b.Min)
 			cols[1] = append(cols[1], b.Q1)
 			cols[2] = append(cols[2], b.Median)
@@ -139,16 +145,20 @@ func Figure5(instr int64) []Figure {
 		Title:  "DRAM idle period lengths per application (cycles)",
 		Labels: apps,
 	}
-	var q1s, meds, q3s, longFrac []float64
-	for _, app := range apps {
+	q1s := make([]float64, len(apps))
+	meds := make([]float64, len(apps))
+	q3s := make([]float64, len(apps))
+	longFrac := make([]float64, len(apps))
+	parDo(len(apps), func(i int) {
+		app := apps[i]
 		lengths := IdleProfile(workload.Mix{Name: app, Apps: []string{app}}, instr)
 		if len(lengths) == 0 {
 			lengths = []float64{0}
 		}
 		b := metrics.Box(lengths)
-		q1s = append(q1s, b.Q1)
-		meds = append(meds, b.Median)
-		q3s = append(q3s, b.Q3)
+		q1s[i] = b.Q1
+		meds[i] = b.Median
+		q3s[i] = b.Q3
 		over := 0
 		line := float64(trng.DRaNGe().OnDemand64Latency(1))
 		for _, l := range lengths {
@@ -156,8 +166,8 @@ func Figure5(instr int64) []Figure {
 				over++
 			}
 		}
-		longFrac = append(longFrac, float64(over)/float64(len(lengths)))
-	}
+		longFrac[i] = float64(over) / float64(len(lengths))
+	})
 	f.Series = []Series{
 		{Name: "q1", Values: q1s},
 		{Name: "median", Values: meds},
@@ -172,10 +182,12 @@ func Figure5(instr int64) []Figure {
 }
 
 // IdleProfile runs a mix alone and returns all observed idle period
-// lengths across channels (Figures 5 and 18).
+// lengths across channels (Figures 5 and 18). The run bypasses the
+// memo (the callback is the point) but still counts against the
+// worker pool's simulation bound.
 func IdleProfile(mix workload.Mix, instr int64) []float64 {
 	var lengths []float64
-	Run(RunConfig{
+	memoRun(RunConfig{
 		Design:       DesignOblivious,
 		Mix:          mix,
 		Instructions: instr,
@@ -192,12 +204,15 @@ var designTriple = []Design{DesignOblivious, DesignGreedy, DesignDRStrange}
 func perAppComparison(id, title string, designs []Design, instr int64,
 	metric func(WorkloadResult) float64, opt func(*RunConfig)) Figure {
 	f := Figure{ID: id, Title: title, Labels: append(workload.FigureApps(), "AVG")}
-	for _, d := range designs {
+	series := make([]Series, len(designs))
+	parDo(len(designs), func(i int) {
+		d := designs[i]
 		vals := pluck(evalMixes(d, workload.FigureTwoCoreMixes(5120), instr, opt), metric)
 		all := pluck(evalMixes(d, workload.TwoCoreMixes(5120), instr, opt), metric)
 		vals = append(vals, metrics.Mean(all))
-		f.Series = append(f.Series, Series{Name: d.String(), Values: vals})
-	}
+		series[i] = Series{Name: d.String(), Values: vals}
+	})
+	f.Series = series
 	return f
 }
 
@@ -245,18 +260,34 @@ func Figure7(instr int64) []Figure {
 		Labels: append(labels, "GMEAN"),
 	}
 	for _, d := range []Design{DesignGreedy, DesignDRStrange} {
-		var vals []float64
+		// Flatten the groups into one job list: [base..., cur...], so
+		// every simulation of the sweep fans out at once.
+		var groupOf []int
+		var cfgs []RunConfig
 		for gi, mixes := range groups {
-			_ = gi
-			var ratios []float64
 			for _, m := range mixes {
-				base := Evaluate(RunConfig{Design: DesignOblivious, Mix: m, Instructions: instr})
-				cur := Evaluate(RunConfig{Design: d, Mix: m, Instructions: instr})
-				if base.WeightedSpeedup > 0 {
-					ratios = append(ratios, cur.WeightedSpeedup/base.WeightedSpeedup)
-				}
+				groupOf = append(groupOf, gi)
+				cfgs = append(cfgs, RunConfig{Design: DesignOblivious, Mix: m, Instructions: instr})
 			}
-			vals = append(vals, metrics.Mean(ratios))
+		}
+		n := len(cfgs)
+		for i := 0; i < n; i++ {
+			cfg := cfgs[i]
+			cfg.Design = d
+			cfgs = append(cfgs, cfg)
+		}
+		res := evalAll(cfgs)
+		ratios := make([][]float64, len(groups))
+		for i := 0; i < n; i++ {
+			base, cur := res[i], res[n+i]
+			if base.WeightedSpeedup > 0 {
+				gi := groupOf[i]
+				ratios[gi] = append(ratios[gi], cur.WeightedSpeedup/base.WeightedSpeedup)
+			}
+		}
+		var vals []float64
+		for _, r := range ratios {
+			vals = append(vals, metrics.Mean(r))
 		}
 		vals = append(vals, metrics.GMean(vals))
 		f.Series = append(f.Series, Series{Name: d.String(), Values: vals})
@@ -275,13 +306,22 @@ func Figure8(instr int64) []Figure {
 		Labels: append(labels, "GMEAN"),
 	}
 	for _, d := range designTriple {
-		var vals []float64
-		for _, mixes := range groups {
-			var sl []float64
+		var groupOf []int
+		var cfgs []RunConfig
+		for gi, mixes := range groups {
 			for _, m := range mixes {
-				sl = append(sl, Evaluate(RunConfig{Design: d, Mix: m, Instructions: instr}).RNGSlowdown)
+				groupOf = append(groupOf, gi)
+				cfgs = append(cfgs, RunConfig{Design: d, Mix: m, Instructions: instr})
 			}
-			vals = append(vals, metrics.Mean(sl))
+		}
+		res := evalAll(cfgs)
+		sl := make([][]float64, len(groups))
+		for i, r := range res {
+			sl[groupOf[i]] = append(sl[groupOf[i]], r.RNGSlowdown)
+		}
+		var vals []float64
+		for _, s := range sl {
+			vals = append(vals, metrics.Mean(s))
 		}
 		vals = append(vals, metrics.GMean(vals))
 		f.Series = append(f.Series, Series{Name: d.String(), Values: vals})
@@ -353,8 +393,9 @@ func Figure11(instr int64) []Figure {
 func Figure12(instr int64) []Figure {
 	groups := map[int][]workload.Mix{}
 	for _, cores := range []int{4, 8, 16} {
-		for _, mixes := range workload.MultiCoreGroups(cores) {
-			groups[cores] = append(groups[cores], mixes...)
+		mg := workload.MultiCoreGroups(cores)
+		for _, class := range []string{"L", "M", "H"} {
+			groups[cores] = append(groups[cores], mg[class]...)
 		}
 	}
 	labels := []string{"4-CORE", "8-CORE", "16-CORE", "GMEAN"}
@@ -383,27 +424,40 @@ func Figure12(instr int64) []Figure {
 		{"DR-STRANGE (Non-RNG prioritized)", DesignDRStrange, false, true},
 		{"DR-STRANGE (RNG prioritized)", DesignDRStrange, true, true},
 	}
+	coreCounts := []int{4, 8, 16}
 	for _, v := range variants {
-		var wsVals, slVals []float64
-		for _, cores := range []int{4, 8, 16} {
-			var wsr, slr []float64
+		// Flatten the per-core-count sweeps into [base..., cur...].
+		var coreIdx []int
+		var cfgs []RunConfig
+		for ci, cores := range coreCounts {
 			for _, m := range groups[cores] {
-				opt := func(c *RunConfig) {
-					if v.usePrio {
-						c.Priorities = prios(m.Cores(), v.rngHigh)
-					}
-				}
-				base := Evaluate(RunConfig{Design: DesignOblivious, Mix: m, Instructions: instr})
-				cfg := RunConfig{Design: v.design, Mix: m, Instructions: instr}
-				opt(&cfg)
-				cur := Evaluate(cfg)
-				if base.WeightedSpeedup > 0 {
-					wsr = append(wsr, cur.WeightedSpeedup/base.WeightedSpeedup)
-				}
-				slr = append(slr, cur.RNGSlowdown)
+				coreIdx = append(coreIdx, ci)
+				cfgs = append(cfgs, RunConfig{Design: DesignOblivious, Mix: m, Instructions: instr})
 			}
-			wsVals = append(wsVals, metrics.Mean(wsr))
-			slVals = append(slVals, metrics.Mean(slr))
+		}
+		n := len(cfgs)
+		for i := 0; i < n; i++ {
+			cfg := RunConfig{Design: v.design, Mix: cfgs[i].Mix, Instructions: instr}
+			if v.usePrio {
+				cfg.Priorities = prios(cfg.Mix.Cores(), v.rngHigh)
+			}
+			cfgs = append(cfgs, cfg)
+		}
+		res := evalAll(cfgs)
+		wsr := make([][]float64, len(coreCounts))
+		slr := make([][]float64, len(coreCounts))
+		for i := 0; i < n; i++ {
+			base, cur := res[i], res[n+i]
+			ci := coreIdx[i]
+			if base.WeightedSpeedup > 0 {
+				wsr[ci] = append(wsr[ci], cur.WeightedSpeedup/base.WeightedSpeedup)
+			}
+			slr[ci] = append(slr[ci], cur.RNGSlowdown)
+		}
+		var wsVals, slVals []float64
+		for ci := range coreCounts {
+			wsVals = append(wsVals, metrics.Mean(wsr[ci]))
+			slVals = append(slVals, metrics.Mean(slr[ci]))
 		}
 		wsVals = append(wsVals, metrics.GMean(wsVals))
 		slVals = append(slVals, metrics.GMean(slVals))
@@ -456,12 +510,15 @@ func Figure14(instr int64) []Figure {
 			func(w WorkloadResult) float64 { return w.PredictorAccuracy * 100 })
 		vals = append(vals, metrics.Mean(two))
 		for _, cores := range []int{4, 8, 16} {
-			var acc []float64
-			for _, mixes := range workload.MultiCoreGroups(cores) {
-				for _, m := range mixes {
-					acc = append(acc, Evaluate(RunConfig{Design: d, Mix: m, Instructions: instr}).PredictorAccuracy*100)
+			mg := workload.MultiCoreGroups(cores)
+			var cfgs []RunConfig
+			for _, class := range []string{"L", "M", "H"} {
+				for _, m := range mg[class] {
+					cfgs = append(cfgs, RunConfig{Design: d, Mix: m, Instructions: instr})
 				}
 			}
+			acc := pluck(evalAll(cfgs),
+				func(w WorkloadResult) float64 { return w.PredictorAccuracy * 100 })
 			vals = append(vals, metrics.Mean(acc))
 		}
 		vals = append(vals, metrics.GMean(vals))
@@ -535,34 +592,45 @@ func Figure18(instr int64) []Figure {
 		ID:    "Figure18",
 		Title: "DRAM idle period lengths, multicore non-RNG workloads (cycles)",
 	}
-	var q1s, meds, q3s, fracShort []float64
 	line := float64(trng.DRaNGe().OnDemand64Latency(1))
+	type combo struct {
+		cores int
+		class string
+	}
+	var combos []combo
 	for _, cores := range []int{4, 8, 16} {
-		mg := workload.MultiCoreGroups(cores)
 		for _, class := range []string{"L", "M", "H"} {
+			combos = append(combos, combo{cores, class})
 			f.Labels = append(f.Labels, fmt.Sprintf("%s(%d)", class, cores))
-			var lengths []float64
-			// Profile the non-RNG composition alone (the paper's
-			// figure uses workloads of single-core applications).
-			for _, m := range mg[class][:3] { // 3 of 10 mixes keeps profiling cheap
-				lengths = append(lengths, IdleProfile(workload.Mix{Name: m.Name, Apps: m.Apps}, instr)...)
-			}
-			if len(lengths) == 0 {
-				lengths = []float64{0}
-			}
-			b := metrics.Box(lengths)
-			q1s = append(q1s, b.Q1)
-			meds = append(meds, b.Median)
-			q3s = append(q3s, b.Q3)
-			short := 0
-			for _, l := range lengths {
-				if l < line {
-					short++
-				}
-			}
-			fracShort = append(fracShort, float64(short)/float64(len(lengths)))
 		}
 	}
+	q1s := make([]float64, len(combos))
+	meds := make([]float64, len(combos))
+	q3s := make([]float64, len(combos))
+	fracShort := make([]float64, len(combos))
+	parDo(len(combos), func(i int) {
+		mg := workload.MultiCoreGroups(combos[i].cores)
+		var lengths []float64
+		// Profile the non-RNG composition alone (the paper's
+		// figure uses workloads of single-core applications).
+		for _, m := range mg[combos[i].class][:3] { // 3 of 10 mixes keeps profiling cheap
+			lengths = append(lengths, IdleProfile(workload.Mix{Name: m.Name, Apps: m.Apps}, instr)...)
+		}
+		if len(lengths) == 0 {
+			lengths = []float64{0}
+		}
+		b := metrics.Box(lengths)
+		q1s[i] = b.Q1
+		meds[i] = b.Median
+		q3s[i] = b.Q3
+		short := 0
+		for _, l := range lengths {
+			if l < line {
+				short++
+			}
+		}
+		fracShort[i] = float64(short) / float64(len(lengths))
+	})
 	f.Series = []Series{
 		{Name: "q1", Values: q1s},
 		{Name: "median", Values: meds},

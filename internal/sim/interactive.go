@@ -15,6 +15,10 @@ import (
 // optional background applications keep the memory system busy. It
 // implements core.WordRequester, so core.NewSyscall(Interactive) is the
 // full getrandom() path of Section 5.3.
+//
+// An Interactive system steps one shared simulated clock and is NOT
+// safe for concurrent use; unlike the batch experiment engine
+// (pool.go) it never fans out. Use one instance per goroutine.
 type Interactive struct {
 	ctrl *memctrl.Controller
 	gen  *trng.Generator

@@ -12,19 +12,71 @@ import (
 // configurations (the 43 dual-core mixes appear in Figures 6, 9, 10,
 // 13, ...), and every slowdown needs the same alone-run baselines, so
 // each distinct simulation executes exactly once per process.
+//
+// The cache is singleflight-style for the parallel engine: concurrent
+// requests for the same key block on one in-flight execution instead
+// of duplicating it (or serializing unrelated runs behind one lock, as
+// the earlier global-mutex design did).
+
+// inflight is one cache entry: done closes when the computation
+// finishes, after which exactly one of val or panicked is meaningful.
+type inflight[T any] struct {
+	done     chan struct{}
+	val      T
+	panicked any // re-raised in every waiter if the computation panicked
+}
 
 var (
 	memoMu    sync.Mutex
-	runMemo   = map[string]RunResult{}
-	aloneMemo = map[string]AppResult{}
+	runMemo   = map[string]*inflight[RunResult]{}
+	aloneMemo = map[string]*inflight[AppResult]{}
 )
 
-// ResetMemo clears the caches (tests).
+// ResetMemo clears the caches (tests). Safe to call concurrently with
+// in-flight computations: they complete against their own entries and
+// are simply forgotten by the fresh maps.
 func ResetMemo() {
 	memoMu.Lock()
 	defer memoMu.Unlock()
-	runMemo = map[string]RunResult{}
-	aloneMemo = map[string]AppResult{}
+	runMemo = map[string]*inflight[RunResult]{}
+	aloneMemo = map[string]*inflight[AppResult]{}
+}
+
+// single returns the cached or in-flight value for key, computing it
+// if absent: the first caller registers an entry and runs compute, and
+// every concurrent caller for the same key blocks on that one
+// execution. A panic in compute evicts the entry (a later call
+// retries) and is re-raised in the computing caller and all waiters.
+// get is evaluated under memoMu so it always sees the current map.
+func single[T any](get func() map[string]*inflight[T], key string, compute func() T) T {
+	memoMu.Lock()
+	m := get()
+	if e, ok := m[key]; ok {
+		memoMu.Unlock()
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.val
+	}
+	e := &inflight[T]{done: make(chan struct{})}
+	m[key] = e
+	memoMu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = r
+			memoMu.Lock()
+			if get()[key] == e {
+				delete(get(), key)
+			}
+			memoMu.Unlock()
+			close(e.done)
+			panic(r)
+		}
+	}()
+	e.val = compute()
+	close(e.done)
+	return e.val
 }
 
 func runKey(cfg RunConfig) string {
@@ -39,20 +91,10 @@ func runKey(cfg RunConfig) string {
 // callback bypass the cache: the caller wants the side effects.
 func memoRun(cfg RunConfig) RunResult {
 	if cfg.OnIdlePeriod != nil {
-		return Run(cfg)
+		return runGated(cfg)
 	}
-	key := runKey(cfg)
-	memoMu.Lock()
-	if r, ok := runMemo[key]; ok {
-		memoMu.Unlock()
-		return r
-	}
-	memoMu.Unlock()
-	r := Run(cfg)
-	memoMu.Lock()
-	runMemo[key] = r
-	memoMu.Unlock()
-	return r
+	return single(func() map[string]*inflight[RunResult] { return runMemo },
+		runKey(cfg), func() RunResult { return runGated(cfg) })
 }
 
 // aloneResult returns the application's single-core run on design d
@@ -68,32 +110,24 @@ func memoRun(cfg RunConfig) RunResult {
 func aloneResult(app AppResult, shared RunConfig, d Design) AppResult {
 	key := fmt.Sprintf("%s|d%d|b%d|m%s|i%d|s%d", app.Name, d, shared.BufferWords,
 		shared.Mech.Name, shared.Instructions, shared.Seed)
-	memoMu.Lock()
-	if r, ok := aloneMemo[key]; ok {
-		memoMu.Unlock()
-		return r
-	}
-	memoMu.Unlock()
-
-	var mix workload.Mix
-	if app.IsRNG {
-		mix = workload.Mix{Name: "alone-" + app.Name, RNGMbps: mbpsOf(app.Name)}
-	} else {
-		mix = workload.Mix{Name: "alone-" + app.Name, Apps: []string{app.Name}}
-	}
-	res := Run(RunConfig{
-		Design:       d,
-		Mix:          mix,
-		Mech:         shared.Mech,
-		BufferWords:  shared.BufferWords,
-		Instructions: shared.Instructions,
-		Seed:         shared.Seed,
-	})
-	r := res.Apps[0]
-	memoMu.Lock()
-	aloneMemo[key] = r
-	memoMu.Unlock()
-	return r
+	return single(func() map[string]*inflight[AppResult] { return aloneMemo },
+		key, func() AppResult {
+			var mix workload.Mix
+			if app.IsRNG {
+				mix = workload.Mix{Name: "alone-" + app.Name, RNGMbps: mbpsOf(app.Name)}
+			} else {
+				mix = workload.Mix{Name: "alone-" + app.Name, Apps: []string{app.Name}}
+			}
+			res := runGated(RunConfig{
+				Design:       d,
+				Mix:          mix,
+				Mech:         shared.Mech,
+				BufferWords:  shared.BufferWords,
+				Instructions: shared.Instructions,
+				Seed:         shared.Seed,
+			})
+			return res.Apps[0]
+		})
 }
 
 // mbpsOf parses the throughput back out of an RNG benchmark name.

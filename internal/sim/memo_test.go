@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"drstrange/internal/trng"
+	"drstrange/internal/workload"
+)
+
+// runKey must separate every field that changes a simulation's
+// outcome: two RunConfigs differing in any one of them may never
+// share a cache entry.
+func TestRunKeyUniqueness(t *testing.T) {
+	base := RunConfig{
+		Design:       DesignDRStrange,
+		Mix:          workload.Mix{Name: "soplex", Apps: []string{"soplex"}, RNGMbps: 5120},
+		Instructions: 10000,
+	}
+	base.normalize()
+
+	variants := map[string]func(c *RunConfig){
+		"base":           func(c *RunConfig) {},
+		"design":         func(c *RunConfig) { c.Design = DesignOblivious },
+		"app":            func(c *RunConfig) { c.Mix.Apps = []string{"lbm"} },
+		"two apps":       func(c *RunConfig) { c.Mix.Apps = []string{"soplex", "lbm"} },
+		"rng mbps":       func(c *RunConfig) { c.Mix.RNGMbps = 640 },
+		"mechanism":      func(c *RunConfig) { c.Mech = trng.QUACTRNG() },
+		"buffer words":   func(c *RunConfig) { c.BufferWords = 64 },
+		"instructions":   func(c *RunConfig) { c.Instructions = 20000 },
+		"seed":           func(c *RunConfig) { c.Seed = 1 },
+		"priorities":     func(c *RunConfig) { c.Priorities = []int{1, 0} },
+		"priorities rev": func(c *RunConfig) { c.Priorities = []int{0, 1} },
+		"tweak id":       func(c *RunConfig) { c.TweakID = "stall-10" },
+		"tweak id 2":     func(c *RunConfig) { c.TweakID = "stall-100" },
+	}
+	seen := map[string]string{}
+	for name, mutate := range variants {
+		cfg := base
+		mutate(&cfg)
+		key := runKey(cfg)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("variants %q and %q collide on key %q", name, prev, key)
+		}
+		seen[key] = name
+	}
+}
+
+// A run with an idle-period callback must bypass the cache entirely:
+// the caller wants the side effects every time.
+func TestCallbackRunsNeverMemoized(t *testing.T) {
+	ResetMemo()
+	defer ResetMemo()
+	mix := workload.Mix{Name: "ycsb0", Apps: []string{"ycsb0"}}
+	count := func() int {
+		n := 0
+		memoRun(RunConfig{
+			Design:       DesignOblivious,
+			Mix:          mix,
+			Instructions: 5000,
+			OnIdlePeriod: func(int, int64) { n++ },
+		})
+		return n
+	}
+	first, second := count(), count()
+	if first == 0 || second == 0 {
+		t.Fatalf("callback not invoked on repeat run (first=%d second=%d)", first, second)
+	}
+}
+
+// ResetMemo must be safe while evaluations are in flight: racing
+// resets may only cost cache hits, never corrupt results.
+func TestResetMemoConcurrentWithEvaluations(t *testing.T) {
+	ResetMemo()
+	SetWorkers(4)
+	defer func() { SetWorkers(0); ResetMemo() }()
+
+	mix := workload.Mix{Name: "ycsb0", Apps: []string{"ycsb0"}, RNGMbps: 5120}
+	cfg := RunConfig{Design: DesignDRStrange, Mix: mix, Instructions: 5000}
+	want := Evaluate(cfg)
+
+	stop := make(chan struct{})
+	var resetter sync.WaitGroup
+	resetter.Add(1)
+	go func() {
+		defer resetter.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ResetMemo()
+			}
+		}
+	}()
+	var evals sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		evals.Add(1)
+		go func() {
+			defer evals.Done()
+			for i := 0; i < 10; i++ {
+				got := Evaluate(cfg)
+				if got.NonRNGSlowdown != want.NonRNGSlowdown ||
+					got.TotalTicks != want.TotalTicks {
+					t.Errorf("result corrupted under concurrent ResetMemo: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+	evals.Wait()
+	close(stop)
+	resetter.Wait()
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment engine: a process-wide bounded worker pool
+// that fans out independent simulation jobs. Figure drivers submit
+// jobs with parDo/evalAll and write result i into slot i of a
+// pre-sized slice, so output order never depends on goroutine
+// scheduling and the parallel engine renders byte-identical figures to
+// the sequential one.
+//
+// Two layers bound the concurrency:
+//
+//   - parDo spawns at most Workers() goroutines per call site, and
+//   - acquireSlot gates the actual simulations, so nested fan-out
+//     (a parallel figure driver whose Evaluate jobs fan out their own
+//     alone-run baselines) never runs more than Workers() simulations
+//     at once.
+
+var (
+	poolMu     sync.Mutex
+	workersSet int           // SetWorkers override; 0 = unset
+	slots      chan struct{} // semaphore bounding concurrent simulations
+	slotsFor   int           // worker count slots was sized for
+)
+
+// Workers reports the pool size: the SetWorkers override if set, else
+// the DRSTRANGE_WORKERS environment variable, else GOMAXPROCS.
+func Workers() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return workersLocked()
+}
+
+func workersLocked() int {
+	if workersSet > 0 {
+		return workersSet
+	}
+	if v := os.Getenv("DRSTRANGE_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool size for subsequent jobs (the cmd/
+// drivers' -workers flag); n <= 0 restores the default resolution.
+func SetWorkers(n int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	workersSet = n
+}
+
+// acquireSlot blocks until a simulation slot is free and returns the
+// release function. The semaphore is rebuilt when the worker count
+// changes; in-flight holders release into the channel they acquired
+// from, so a resize never loses or double-frees a slot.
+func acquireSlot() func() {
+	poolMu.Lock()
+	w := workersLocked()
+	if slots == nil || slotsFor != w {
+		slots = make(chan struct{}, w)
+		slotsFor = w
+	}
+	s := slots
+	poolMu.Unlock()
+	s <- struct{}{}
+	return func() { <-s }
+}
+
+// runGated executes one simulation under the pool's concurrency bound.
+func runGated(cfg RunConfig) RunResult {
+	release := acquireSlot()
+	defer release()
+	return Run(cfg)
+}
+
+// parDo runs f(0), ..., f(n-1) across up to Workers() goroutines and
+// returns when all have completed. With one worker (or one job) it
+// degenerates to the plain sequential loop. A panic in any job is
+// re-raised in the caller after the remaining workers drain.
+func parDo(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	g := Workers()
+	if g > n {
+		g = n
+	}
+	if g <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					f(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// evalAll evaluates every configuration on the worker pool, preserving
+// input order.
+func evalAll(cfgs []RunConfig) []WorkloadResult {
+	out := make([]WorkloadResult, len(cfgs))
+	parDo(len(cfgs), func(i int) { out[i] = Evaluate(cfgs[i]) })
+	return out
+}

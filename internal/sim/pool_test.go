@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"drstrange/internal/memctrl"
+	"drstrange/internal/workload"
+)
+
+func TestWorkersEnvOverride(t *testing.T) {
+	SetWorkers(0)
+	t.Setenv("DRSTRANGE_WORKERS", "7")
+	if got := Workers(); got != 7 {
+		t.Fatalf("Workers() = %d with DRSTRANGE_WORKERS=7", got)
+	}
+	t.Setenv("DRSTRANGE_WORKERS", "bogus")
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d with junk env, want >= 1", got)
+	}
+}
+
+func TestSetWorkersOverridesEnv(t *testing.T) {
+	t.Setenv("DRSTRANGE_WORKERS", "2")
+	SetWorkers(5)
+	defer SetWorkers(0)
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", got)
+	}
+	SetWorkers(-3) // negative restores the default resolution
+	if got := Workers(); got != 2 {
+		t.Fatalf("Workers() = %d after reset, want env value 2", got)
+	}
+}
+
+func TestParDoCoversAllIndicesInOrderSlots(t *testing.T) {
+	SetWorkers(8)
+	defer SetWorkers(0)
+	const n = 100
+	out := make([]int, n)
+	parDo(n, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParDoPanicPropagates(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in a job did not propagate")
+		}
+	}()
+	parDo(16, func(i int) {
+		if i == 5 {
+			panic("job 5 exploded")
+		}
+	})
+}
+
+// TestSingleflightHammersOneRunKey fires many goroutines at one runKey
+// and asserts the simulation executed exactly once (the Tweak hook
+// runs once per real execution) with every caller seeing the same
+// result. Run under -race this is the concurrency guard for the memo.
+func TestSingleflightHammersOneRunKey(t *testing.T) {
+	ResetMemo()
+	SetWorkers(8)
+	defer func() { SetWorkers(0); ResetMemo() }()
+
+	var executions atomic.Int32
+	mix := workload.Mix{Name: "soplex", Apps: []string{"soplex"}, RNGMbps: 5120}
+	cfg := RunConfig{
+		Design:       DesignDRStrange,
+		Mix:          mix,
+		Instructions: 8000,
+		TweakID:      "singleflight-probe",
+		Tweak:        func(*memctrl.Config) { executions.Add(1) },
+	}
+
+	const goroutines = 32
+	results := make([]RunResult, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = memoRun(cfg)
+		}()
+	}
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("shared run executed %d times, want exactly 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g].TotalTicks != results[0].TotalTicks ||
+			results[g].Ctrl.RNGServed != results[0].Ctrl.RNGServed {
+			t.Fatalf("goroutine %d saw a different result", g)
+		}
+	}
+}
+
+// TestSingleflightPanicEvictsAndRetries: a panicking computation must
+// not wedge the cache — waiters see the panic, and a later call
+// re-executes.
+func TestSingleflightPanicEvictsAndRetries(t *testing.T) {
+	ResetMemo()
+	defer ResetMemo()
+	key := "panic-probe"
+	get := func() map[string]*inflight[int] { return panicProbe }
+	calls := 0
+	compute := func() int {
+		calls++
+		if calls == 1 {
+			panic("first attempt fails")
+		}
+		return 42
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first single() call did not panic")
+			}
+		}()
+		single(get, key, compute)
+	}()
+	if got := single(get, key, compute); got != 42 {
+		t.Fatalf("retry returned %d, want 42", got)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+}
+
+var panicProbe = map[string]*inflight[int]{}
+
+// TestParallelOutputByteIdentical renders a representative multi-level
+// sweep with one worker and with many, asserting byte-identical
+// figures (the tentpole's determinism requirement).
+func TestParallelOutputByteIdentical(t *testing.T) {
+	run := func(workers int) string {
+		ResetMemo()
+		SetWorkers(workers)
+		defer SetWorkers(0)
+		var figs []Figure
+		figs = append(figs, Section8_8(6000)...)
+		figs = append(figs, Figure10(6000)...)
+		return RenderAll(figs)
+	}
+	seq := run(1)
+	par := run(8)
+	if seq != par {
+		t.Fatalf("parallel output differs from sequential:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+	ResetMemo()
+}
+
+// TestEvaluateConcurrentMixedKeys exercises the pool with many
+// distinct and overlapping keys at once.
+func TestEvaluateConcurrentMixedKeys(t *testing.T) {
+	ResetMemo()
+	SetWorkers(6)
+	defer func() { SetWorkers(0); ResetMemo() }()
+	apps := []string{"soplex", "lbm", "ycsb0", "libq"}
+	var cfgs []RunConfig
+	for _, app := range apps {
+		for _, d := range []Design{DesignOblivious, DesignDRStrange} {
+			cfgs = append(cfgs, RunConfig{
+				Design:       d,
+				Mix:          workload.Mix{Name: app, Apps: []string{app}, RNGMbps: 5120},
+				Instructions: 6000,
+			})
+		}
+	}
+	// Duplicate the whole list so every key is requested twice,
+	// concurrently.
+	cfgs = append(cfgs, cfgs...)
+	res := evalAll(cfgs)
+	half := len(res) / 2
+	for i := 0; i < half; i++ {
+		if res[i].NonRNGSlowdown != res[half+i].NonRNGSlowdown {
+			t.Fatalf("duplicate config %d diverged: %v vs %v",
+				i, res[i].NonRNGSlowdown, res[half+i].NonRNGSlowdown)
+		}
+	}
+}
+
+func TestWorkersFlagPlumbing(t *testing.T) {
+	// SetWorkers resizes the simulation semaphore on the next acquire.
+	SetWorkers(3)
+	defer SetWorkers(0)
+	release := acquireSlot()
+	release()
+	poolMu.Lock()
+	cap1 := cap(slots)
+	poolMu.Unlock()
+	if cap1 != 3 {
+		t.Fatalf("slot capacity %d after SetWorkers(3)", cap1)
+	}
+	SetWorkers(5)
+	release = acquireSlot()
+	release()
+	poolMu.Lock()
+	cap2 := cap(slots)
+	poolMu.Unlock()
+	if cap2 != 5 {
+		t.Fatalf("slot capacity %d after SetWorkers(5)", cap2)
+	}
+}
+
+func ExampleWorkers() {
+	SetWorkers(2)
+	fmt.Println(Workers())
+	SetWorkers(0)
+	// Output: 2
+}

@@ -209,7 +209,8 @@ type WorkloadResult struct {
 // Evaluate runs the workload under the design and derives the metrics
 // the figures plot. Shared runs and alone runs are memoized
 // process-wide, so figures sharing configurations (e.g. Figures 6 and
-// 9) pay for each simulation once.
+// 9) pay for each simulation once. The alone-run baselines are
+// independent simulations and fan out across the worker pool.
 func Evaluate(cfg RunConfig) WorkloadResult {
 	cfg.normalize()
 	shared := memoRun(cfg)
@@ -225,12 +226,21 @@ func Evaluate(cfg RunConfig) WorkloadResult {
 		Ctrl:              shared.Ctrl,
 	}
 
+	type baselines struct{ base, same AppResult }
+	alone := make([]baselines, len(shared.Apps))
+	parDo(len(shared.Apps), func(i int) {
+		app := shared.Apps[i]
+		alone[i] = baselines{
+			base: aloneResult(app, cfg, DesignOblivious),
+			same: aloneResult(app, cfg, cfg.Design),
+		}
+	})
+
 	var memSlow []float64
 	var sharedIPC, aloneIPC []float64
 	var nonRNG []float64
-	for _, app := range shared.Apps {
-		aloneBase := aloneResult(app, cfg, DesignOblivious)
-		aloneSame := aloneResult(app, cfg, cfg.Design)
+	for i, app := range shared.Apps {
+		aloneBase, aloneSame := alone[i].base, alone[i].same
 		sd := metrics.Slowdown(app.Ticks, aloneBase.Ticks)
 		w.Slowdowns = append(w.Slowdowns, sd)
 		memSlow = append(memSlow, metrics.MemSlowdown(app.MCPI, aloneSame.MCPI))

@@ -155,8 +155,8 @@ func PartitionCost(instr int64) []Figure {
 		Labels: []string{"non-RNG slowdown", "RNG slowdown"},
 	}
 	for _, part := range []bool{false, true} {
-		var nr, rs []float64
-		for _, app := range apps {
+		cfgs := make([]RunConfig, len(apps))
+		for i, app := range apps {
 			cfg := RunConfig{
 				Design:       DesignDRStrange,
 				Mix:          twoCoreMix(app, 5120),
@@ -168,7 +168,10 @@ func PartitionCost(instr int64) []Figure {
 					m.Buffer = core.NewPartitionedBuffer(16, m.NumCores)
 				}
 			}
-			w := Evaluate(cfg)
+			cfgs[i] = cfg
+		}
+		var nr, rs []float64
+		for _, w := range evalAll(cfgs) {
 			nr = append(nr, w.NonRNGSlowdown)
 			rs = append(rs, w.RNGSlowdown)
 		}
