@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench-smoke figures ci
+.PHONY: all build test race fmt vet bench-smoke bench-json figures ci
 
 all: build
 
@@ -27,6 +27,20 @@ vet:
 # smoke of the sweep machinery.
 bench-smoke:
 	DRSTRANGE_INSTR=5000 $(GO) test -run '^$$' -bench BenchmarkFigure1 -benchtime 1x .
+
+# Machine-readable perf trajectory: run every figure benchmark once and
+# emit BENCH_<utc timestamp>.json with ns/op, the figure's headline
+# metric, and allocs/op per benchmark. Honors DRSTRANGE_INSTR /
+# DRSTRANGE_WORKERS / DRSTRANGE_ENGINE; CI uploads the file as an
+# artifact so speedups and regressions are diffable across PRs.
+# (The bench output goes through a temp file, not a pipe, so a failing
+# benchmark fails the target instead of leaving a partial snapshot.)
+bench-json:
+	@out=$$(mktemp); \
+	if ! $(GO) test -run '^$$' -bench . -benchtime 1x . > $$out 2>&1; then \
+		cat $$out; rm -f $$out; exit 1; \
+	fi; \
+	$(GO) run ./cmd/benchjson < $$out; status=$$?; rm -f $$out; exit $$status
 
 # Regenerate every figure at the default budget (slow; honors
 # DRSTRANGE_INSTR and DRSTRANGE_WORKERS).

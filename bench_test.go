@@ -26,6 +26,7 @@ var printOnce sync.Map
 
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	driver, ok := sim.Experiments[id]
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
@@ -115,6 +116,7 @@ func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
 // switch overhead (a design choice DESIGN.md calls out): the same
 // workload under mechanisms with scaled enter/exit latencies.
 func BenchmarkAblationModeSwitchCost(b *testing.B) {
+	b.ReportAllocs()
 	mix := workload.Mix{Name: "soplex+rng", Apps: []string{"soplex"}, RNGMbps: 5120}
 	instr := sim.DefaultInstructions()
 	var out string
@@ -141,6 +143,7 @@ func BenchmarkAblationModeSwitchCost(b *testing.B) {
 // BenchmarkAblationPredictorTableSize sweeps the simple predictor's
 // table size (the paper fixes 256 entries/channel).
 func BenchmarkAblationPredictorTableSize(b *testing.B) {
+	b.ReportAllocs()
 	instr := sim.DefaultInstructions()
 	var out string
 	for i := 0; i < b.N; i++ {
@@ -159,6 +162,7 @@ func BenchmarkAblationPredictorTableSize(b *testing.B) {
 // BenchmarkAblationStallLimit sweeps the starvation-prevention stall
 // limit (paper: 100 cycles, never reached in its workloads).
 func BenchmarkAblationStallLimit(b *testing.B) {
+	b.ReportAllocs()
 	instr := sim.DefaultInstructions()
 	var out string
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable benchmark snapshot, so the perf trajectory of the
+// figure benchmarks (ns/op, headline metric, allocs/op) can be compared
+// across commits without scraping logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | go run ./cmd/benchjson
+//	... | go run ./cmd/benchjson -out BENCH_custom.json
+//
+// Every input line is passed through to stdout unchanged, so piping
+// through benchjson costs nothing in CI logs. The default output file
+// is BENCH_<UTC timestamp>.json in the current directory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one benchmark's parsed measurements. Metrics maps unit
+// name to value: ns/op always, plus headline, B/op, and allocs/op when
+// the benchmark reports them.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// snapshot is the emitted file: the benchmark list plus enough context
+// to compare like with like across commits.
+type snapshot struct {
+	GeneratedAt string            `json:"generated_at"`
+	Env         map[string]string `json:"env"`
+	Benchmarks  []benchResult     `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default BENCH_<utc timestamp>.json)")
+	flag.Parse()
+
+	snap := snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Env:         map[string]string{},
+	}
+	for _, k := range []string{"DRSTRANGE_INSTR", "DRSTRANGE_WORKERS", "DRSTRANGE_ENGINE"} {
+		if v := os.Getenv(k); v != "" {
+			snap.Env[k] = v
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if b, ok := parseBenchLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkFigure1-4   1   66928450 ns/op   3.301 headline   0 B/op   12 allocs/op
+//
+// The name keeps its Benchmark prefix stripped and its -GOMAXPROCS
+// suffix removed; every value/unit pair after the iteration count lands
+// in Metrics.
+func parseBenchLine(line string) (benchResult, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchResult{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := benchResult{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

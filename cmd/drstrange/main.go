@@ -38,9 +38,15 @@ func main() {
 	instr := flag.Int64("instr", sim.DefaultInstructions(), "per-core instruction budget")
 	buffer := flag.Int("buffer", 0, "random number buffer entries (0 = design default)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)")
+	engine := flag.String("engine", "", "simulation engine: event|ticked (default DRSTRANGE_ENGINE or event)")
 	listApps := flag.Bool("listapps", false, "list the application suite and exit")
 	flag.Parse()
 	sim.SetWorkers(*workers)
+	if *engine != "" && *engine != sim.EngineEvent && *engine != sim.EngineTicked {
+		fmt.Fprintf(os.Stderr, "drstrange: unknown engine %q (want event or ticked)\n", *engine)
+		os.Exit(2)
+	}
+	sim.SetEngine(*engine)
 
 	if *listApps {
 		for _, p := range workload.Profiles() {

@@ -26,10 +26,16 @@ func main() {
 	fig := flag.String("fig", "all", "experiment id (see -list) or 'all'")
 	instr := flag.Int64("instr", sim.DefaultInstructions(), "per-core instruction budget")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)")
+	engine := flag.String("engine", "", "simulation engine: event|ticked (default DRSTRANGE_ENGINE or event)")
 	list := flag.Bool("list", false, "list experiment ids")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	flag.Parse()
 	sim.SetWorkers(*workers)
+	if *engine != "" && *engine != sim.EngineEvent && *engine != sim.EngineTicked {
+		fmt.Fprintf(os.Stderr, "figures: unknown engine %q (want event or ticked)\n", *engine)
+		os.Exit(2)
+	}
+	sim.SetEngine(*engine)
 
 	if *list {
 		for _, id := range sim.ExperimentIDs() {

@@ -9,7 +9,7 @@
 // figure of the paper's evaluation; EXPERIMENTS.md records
 // paper-vs-measured results.
 //
-// Two environment variables tune every driver and benchmark:
+// Three environment variables tune every driver and benchmark:
 //
 //   - DRSTRANGE_INSTR sets the per-core instruction budget of a
 //     measured run (default 100000; larger budgets sharpen the
@@ -18,7 +18,11 @@
 //     (default GOMAXPROCS). Independent simulations fan out across
 //     the pool; results are collected in input order, so figure
 //     output is byte-identical at any worker count.
+//   - DRSTRANGE_ENGINE selects the inner simulation loop: "event"
+//     (default) skips ticks no component can act on, "ticked" is the
+//     reference cycle-by-cycle walk. The two produce bit-identical
+//     results; the ticked loop exists for differential testing.
 //
-// Both cmd/drstrange and cmd/figures also accept -instr and -workers
-// flags with the same meaning.
+// Both cmd/drstrange and cmd/figures also accept -instr, -workers, and
+// -engine flags with the same meaning.
 package drstrange

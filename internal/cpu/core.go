@@ -12,6 +12,15 @@
 // budget of 20 CPU cycles x 3-wide = 60 instruction slots. Modeling the
 // core at memory-tick granularity keeps the 186-workload evaluation
 // tractable while preserving memory-boundedness (see DESIGN.md).
+//
+// Representation: the window stores only blocking memory operations as
+// ring entries, each carrying the count of free-retiring instructions
+// (compute bundles and posted stores) dispatched ahead of it; frees
+// after the last blocking entry accumulate in a tail counter. Retire
+// and dispatch therefore cost O(memory ops) per tick instead of
+// O(issue width), with instruction-count semantics — window occupancy,
+// retirement order, per-tick budgets — identical to an entry-per-
+// instruction window.
 package cpu
 
 import (
@@ -55,6 +64,11 @@ type MemPort interface {
 	SubmitRead(line uint64, core int, now int64) (*memctrl.Request, bool)
 	SubmitWrite(line uint64, core int, now int64) bool
 	SubmitRNG(core int, now int64) (*memctrl.Request, bool)
+	// Recycle hands a completed request back to the controller's
+	// freelist. The core calls it when the request retires from the
+	// instruction window — the system's last reference; the request
+	// must not be touched afterwards.
+	Recycle(req *memctrl.Request)
 }
 
 // Stats are the per-core measurements the experiments consume. All
@@ -93,8 +107,11 @@ func (s *Stats) MCPI() float64 {
 	return float64(s.StallMemTicks+s.StallRNGTicks) / float64(s.Retired)
 }
 
+// winEntry is one blocking memory operation in the window, preceded in
+// program order by freeBefore free-retiring instructions.
 type winEntry struct {
-	req *memctrl.Request // nil for instructions that complete at dispatch
+	req        *memctrl.Request
+	freeBefore int
 }
 
 // Core is one simulated processor core.
@@ -107,13 +124,23 @@ type Core struct {
 	windowSize int
 	budget     int // instruction slots per memory tick (width x clock ratio)
 
-	// Instruction window ring buffer.
-	win        []winEntry
-	head, size int
+	// Instruction window: blocking entries in a power-of-two ring
+	// (mask-indexed), free-retiring instructions counted inside the
+	// entries and in tailFree. size tracks total window occupancy in
+	// instructions.
+	win      []winEntry
+	mask     int
+	head     int
+	nEntries int
+	tailFree int
+	size     int
 
-	// Dispatch state for the op currently streaming in.
+	// Dispatch state for the op currently streaming in. pending is held
+	// by value: a fresh heap allocation per memory operation would
+	// dominate the hot loop's allocation profile.
 	computeLeft int
-	pendingMem  *Op // memory part awaiting queue space; nil if none
+	pending     Op   // memory part awaiting queue space
+	hasPending  bool // pending holds a valid op
 
 	target int64
 	stats  Stats
@@ -140,13 +167,18 @@ func NewCore(id int, trace Trace, mem MemPort, cfg Config, target int64) *Core {
 	if target <= 0 {
 		panic("cpu: instruction target must be positive")
 	}
+	ringSize := 1
+	for ringSize < cfg.WindowSize {
+		ringSize <<= 1
+	}
 	return &Core{
 		ID:         id,
 		trace:      trace,
 		mem:        mem,
 		windowSize: cfg.WindowSize,
 		budget:     cfg.IssueWidth * cfg.CPUPerMemTick,
-		win:        make([]winEntry, cfg.WindowSize),
+		win:        make([]winEntry, ringSize),
+		mask:       ringSize - 1,
 		target:     target,
 	}
 }
@@ -168,9 +200,14 @@ func (c *Core) Tick(now int64) {
 		return
 	}
 	c.stats.Retired += int64(retired)
-	if retired == 0 && c.size > 0 {
-		if req := c.win[c.head].req; req != nil && !req.Done {
-			if req.Kind == memctrl.KindRNG {
+	if retired == 0 && c.size > 0 && c.nEntries > 0 {
+		// A stall tick is counted only when the window head itself is a
+		// pending memory request. Dispatch runs after retire, so a
+		// freshly filled window may instead lead with free instructions
+		// dispatched this tick (freeBefore > 0) — those retire next
+		// tick and do not count as a stall.
+		if e := &c.win[c.head]; e.freeBefore == 0 && !e.req.Done {
+			if e.req.Kind == memctrl.KindRNG {
 				c.stats.StallRNGTicks++
 			} else {
 				c.stats.StallMemTicks++
@@ -185,15 +222,45 @@ func (c *Core) Tick(now int64) {
 
 func (c *Core) retire() int {
 	n := 0
-	for n < c.budget && c.size > 0 {
+	for n < c.budget && c.nEntries > 0 {
 		e := &c.win[c.head]
-		if e.req != nil && !e.req.Done {
-			break
+		if e.freeBefore > 0 {
+			take := c.budget - n
+			if take > e.freeBefore {
+				take = e.freeBefore
+			}
+			e.freeBefore -= take
+			c.size -= take
+			n += take
+			if e.freeBefore > 0 {
+				return n // budget exhausted mid-run
+			}
 		}
+		if n >= c.budget {
+			return n
+		}
+		if !e.req.Done {
+			return n
+		}
+		// Retirement drops the last reference to the request; hand it
+		// back to the controller's freelist.
+		c.mem.Recycle(e.req)
 		e.req = nil
-		c.head = (c.head + 1) % c.windowSize
+		c.head = (c.head + 1) & c.mask
+		c.nEntries--
 		c.size--
 		n++
+	}
+	// The tail of free instructions follows every blocking entry in
+	// program order: it may only retire once the entries are drained.
+	if c.nEntries == 0 && n < c.budget && c.tailFree > 0 {
+		take := c.budget - n
+		if take > c.tailFree {
+			take = c.tailFree
+		}
+		c.tailFree -= take
+		c.size -= take
+		n += take
 	}
 	return n
 }
@@ -202,24 +269,32 @@ func (c *Core) dispatch(now int64) {
 	slots := c.budget
 	for slots > 0 && c.size < c.windowSize {
 		if c.computeLeft > 0 {
-			c.push(nil)
-			c.computeLeft--
-			slots--
+			take := slots
+			if take > c.computeLeft {
+				take = c.computeLeft
+			}
+			if free := c.windowSize - c.size; take > free {
+				take = free
+			}
+			c.computeLeft -= take
+			c.tailFree += take
+			c.size += take
+			slots -= take
 			continue
 		}
-		if c.pendingMem != nil {
-			if !c.submit(c.pendingMem, now) {
+		if c.hasPending {
+			if !c.submit(&c.pending, now) {
 				return // queue full: in-order dispatch stalls
 			}
-			c.pendingMem = nil
+			c.hasPending = false
 			slots--
 			continue
 		}
 		op := c.trace.NextOp()
 		c.computeLeft = op.NonMem
 		if op.Kind != OpCompute {
-			memOp := op
-			c.pendingMem = &memOp
+			c.pending = op
+			c.hasPending = true
 		}
 		if op.NonMem == 0 && op.Kind == OpCompute {
 			// Defensive: a zero op would spin forever.
@@ -245,7 +320,10 @@ func (c *Core) submit(op *Op, now int64) bool {
 		if !c.mem.SubmitWrite(op.Line, c.ID, now) {
 			return false
 		}
-		c.push(nil) // stores retire without waiting (posted)
+		// Stores are posted: they occupy a window slot but retire
+		// freely, exactly like compute.
+		c.tailFree++
+		c.size++
 		if !c.stats.Finished {
 			c.stats.Stores++
 		}
@@ -262,8 +340,55 @@ func (c *Core) submit(op *Op, now int64) bool {
 	return true
 }
 
+// push appends a blocking memory request, absorbing the accumulated
+// tail of free instructions as its program-order prefix.
 func (c *Core) push(req *memctrl.Request) {
-	tail := (c.head + c.size) % c.windowSize
-	c.win[tail] = winEntry{req: req}
+	tail := (c.head + c.nEntries) & c.mask
+	c.win[tail] = winEntry{req: req, freeBefore: c.tailFree}
+	c.tailFree = 0
+	c.nEntries++
 	c.size++
+}
+
+// NextEventTick returns a lower bound (> now) on the next tick at which
+// the core can make local progress: retire the window head or dispatch
+// an instruction. A core that can do neither is fully stalled — on a
+// pending memory request at the window head, or on queue-full
+// backpressure with dispatch blocked in order — and only a memory-
+// controller event can unblock it, so it reports the far-future
+// sentinel and lets the controller's own NextEventTick bound the skip.
+func (c *Core) NextEventTick(now int64) int64 {
+	if c.size > 0 {
+		if c.nEntries == 0 {
+			return now + 1 // free instructions at the head retire
+		}
+		e := &c.win[c.head]
+		if e.freeBefore > 0 || e.req.Done {
+			return now + 1 // head can retire
+		}
+	}
+	if c.size < c.windowSize && (c.computeLeft > 0 || !c.hasPending) {
+		return now + 1 // can dispatch from the op stream
+	}
+	return 1 << 62
+}
+
+// AccountSkip credits n skipped fully-stalled ticks to the core's stall
+// counters, exactly as n Tick calls in that state would: zero
+// retirement with a pending memory request at the window head counts as
+// a memory (or RNG) stall tick. Counters freeze after the instruction
+// target, as in Tick.
+func (c *Core) AccountSkip(n int64) {
+	if c.stats.Finished || c.size == 0 || c.nEntries == 0 {
+		return
+	}
+	e := &c.win[c.head]
+	if e.freeBefore > 0 || e.req.Done {
+		return
+	}
+	if e.req.Kind == memctrl.KindRNG {
+		c.stats.StallRNGTicks += n
+	} else {
+		c.stats.StallMemTicks += n
+	}
 }

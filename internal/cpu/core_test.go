@@ -15,6 +15,7 @@ type fakeMem struct {
 	reads     int
 	writes    int
 	rands     int
+	recycled  int
 	writeFull bool
 }
 
@@ -45,6 +46,8 @@ func (f *fakeMem) SubmitRNG(core int, now int64) (*memctrl.Request, bool) {
 	f.inflight = append(f.inflight, r)
 	return r, true
 }
+
+func (f *fakeMem) Recycle(r *memctrl.Request) { f.recycled++ }
 
 func (f *fakeMem) tick(now int64) {
 	f.now = now

@@ -237,6 +237,65 @@ func (c *Channel) TickStats() {
 	}
 }
 
+// SkipStats credits n ticks of unchanged channel state to the per-tick
+// counters, exactly as n TickStats calls would. The event-driven engine
+// calls it for ticks it proves state-invariant (no command can issue,
+// so openBanks cannot change mid-skip).
+func (c *Channel) SkipStats(n int64) {
+	if c.openBanks > 0 {
+		c.ActiveTick += n
+	}
+}
+
+// EarliestIssue returns the earliest tick at or after which the next
+// DRAM command needed by a request to (bank, row) could legally issue:
+// the column command on a row hit, PRE on a row conflict, ACT on a
+// closed bank. It mirrors the legality checks of CanRD/CanWR/CanPRE/
+// CanACT, so for any t below the returned tick the corresponding Can*
+// call is guaranteed false (assuming no commands issue in between) —
+// the lower-bound invariant the event-driven engine's tick-skipping
+// relies on.
+func (c *Channel) EarliestIssue(bank, row int, isWrite bool) int64 {
+	b := &c.Banks[bank]
+	t := c.nextCmd
+	if c.RefreshUntil > t {
+		t = c.RefreshUntil
+	}
+	switch {
+	case b.RowHit(row):
+		if isWrite {
+			if b.nextWR > t {
+				t = b.nextWR
+			}
+			if c.nextWR > t {
+				t = c.nextWR
+			}
+		} else {
+			if b.nextRD > t {
+				t = b.nextRD
+			}
+			if c.nextRD > t {
+				t = c.nextRD
+			}
+		}
+	case b.Open:
+		if b.nextPRE > t {
+			t = b.nextPRE
+		}
+	default:
+		if b.nextACT > t {
+			t = b.nextACT
+		}
+		if x := c.lastACT + c.T.RRD; x > t {
+			t = x
+		}
+		if x := c.actTimes[c.actIdx] + c.T.FAW; x > t {
+			t = x
+		}
+	}
+	return t
+}
+
 // CommandCounts sums per-bank command statistics. It is the energy
 // model's input.
 func (c *Channel) CommandCounts() (acts, pres, rds, wrs, refs int64) {

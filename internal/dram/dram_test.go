@@ -3,6 +3,8 @@ package dram
 import (
 	"testing"
 	"testing/quick"
+
+	"drstrange/internal/prng"
 )
 
 func TestDDR3TimingValid(t *testing.T) {
@@ -383,5 +385,87 @@ func TestIllegalCommandPanics(t *testing.T) {
 			}()
 			f(newTestChannel())
 		}()
+	}
+}
+
+// canNext reports whether the next command a request to (bank, row)
+// needs — column access on a row hit, PRE on a conflict, ACT on a
+// closed bank — is legal at now. It mirrors the memory controller's
+// readiness classification.
+func canNext(c *Channel, bank, row int, isWrite bool, now int64) bool {
+	b := &c.Banks[bank]
+	switch {
+	case b.RowHit(row):
+		if isWrite {
+			return c.CanWR(bank, now)
+		}
+		return c.CanRD(bank, now)
+	case b.Open:
+		return c.CanPRE(bank, now)
+	default:
+		return c.CanACT(bank, now)
+	}
+}
+
+// EarliestIssue is the lower bound the event-driven engine skips on: it
+// must never overshoot (the command must be illegal strictly before it)
+// and, absent intervening commands, must be exact (legal at the
+// returned tick). Drive a random but legal command sequence and check
+// both directions at every step.
+func TestEarliestIssueNeverOvershoots(t *testing.T) {
+	c := newTestChannel()
+	rng := prng.NewSplitMix64(12345)
+	now := int64(0)
+	check := func() {
+		for bank := 0; bank < len(c.Banks); bank++ {
+			for _, isWrite := range []bool{false, true} {
+				row := c.Banks[bank].Row // hit case when open
+				for _, r := range []int{row, row + 1} {
+					at := c.EarliestIssue(bank, r, isWrite)
+					if at > now && canNext(c, bank, r, isWrite, now) {
+						t.Fatalf("overshoot: bank=%d row=%d wr=%v now=%d earliest=%d",
+							bank, r, isWrite, now, at)
+					}
+					if at <= now && !canNext(c, bank, r, isWrite, now) {
+						t.Fatalf("stale bound: bank=%d row=%d wr=%v now=%d earliest=%d",
+							bank, r, isWrite, now, at)
+					}
+					// Exactness without intervening commands: legal at
+					// the bound itself.
+					if at > now && !canNext(c, bank, r, isWrite, at) {
+						t.Fatalf("not issuable at own bound: bank=%d row=%d wr=%v now=%d earliest=%d",
+							bank, r, isWrite, now, at)
+					}
+				}
+			}
+		}
+	}
+	for step := 0; step < 20000; step++ {
+		check()
+		// Random legal action, biased toward activity.
+		bank := int(rng.Next() % uint64(len(c.Banks)))
+		switch rng.Next() % 6 {
+		case 0:
+			if c.CanACT(bank, now) {
+				c.IssueACT(bank, int(rng.Next()%64), now)
+			}
+		case 1:
+			if c.CanRD(bank, now) {
+				c.IssueRD(bank, now)
+			}
+		case 2:
+			if c.CanWR(bank, now) {
+				c.IssueWR(bank, now)
+			}
+		case 3:
+			if c.CanPRE(bank, now) {
+				c.IssuePRE(bank, now)
+			}
+		case 4:
+			if c.RefreshDue(now) && c.CanREF(now) {
+				c.IssueREF(now)
+			}
+		}
+		now++
 	}
 }

@@ -1,8 +1,6 @@
 package memctrl
 
 import (
-	"sort"
-
 	"drstrange/internal/dram"
 )
 
@@ -63,6 +61,9 @@ type Controller struct {
 	cfg   Config
 	dev   *dram.Device
 	chans []channelState
+	// chs caches the device's channel pointers: tickChannel and the
+	// event-bound computation touch them every executed tick.
+	chs []*dram.Channel
 
 	// rngQ is DR-STRaNGe's separate RNG request queue (RNGAware).
 	rngQ []*Request
@@ -83,8 +84,18 @@ type Controller struct {
 	deprioRNG     bool // which side is currently deprioritized
 	forceOverride bool
 
+	// Hot-path scratch state, reused across ticks so the steady-state
+	// tick loop performs zero heap allocations.
+	enterScratch []bool     // planDemand's per-channel decision
+	candScratch  []chanCand // planDemand's candidate list
+	free         []*Request // Request freelist (recycled on retirement)
+
 	stats Stats
 }
+
+// chanCand is one RNG-mode candidate channel in planDemand's
+// least-loaded-first ordering.
+type chanCand struct{ ch, qlen int }
 
 // NewController builds a controller and its DRAM device from cfg.
 func NewController(cfg Config) (*Controller, error) {
@@ -102,13 +113,54 @@ func NewController(cfg Config) (*Controller, error) {
 	if prio == nil {
 		prio = make([]int, cfg.NumCores)
 	}
-	return &Controller{
-		cfg:        cfg,
-		dev:        dev,
-		chans:      make([]channelState, cfg.Geom.Channels),
-		isRNGApp:   make([]bool, cfg.NumCores),
-		priorities: prio,
-	}, nil
+	c := &Controller{
+		cfg:          cfg,
+		dev:          dev,
+		chans:        make([]channelState, cfg.Geom.Channels),
+		chs:          dev.Channels,
+		isRNGApp:     make([]bool, cfg.NumCores),
+		priorities:   prio,
+		enterScratch: make([]bool, cfg.Geom.Channels),
+		candScratch:  make([]chanCand, 0, cfg.Geom.Channels),
+	}
+	// Pre-size the queues to their capacities so steady-state operation
+	// never grows them.
+	for i := range c.chans {
+		c.chans[i].readQ = make([]*Request, 0, cfg.ReadQueueCap)
+		c.chans[i].writeQ = make([]*Request, 0, cfg.WriteQueueCap)
+		c.chans[i].completions = make([]*Request, 0, cfg.ReadQueueCap)
+	}
+	if cfg.Policy == RNGAware {
+		c.rngQ = make([]*Request, 0, cfg.RNGQueueCap)
+	} else {
+		c.rngPending = make([]*Request, 0, cfg.RNGQueueCap)
+	}
+	return c, nil
+}
+
+// newRequest returns a zeroed Request, recycling a retired one when
+// available: the steady-state tick loop allocates nothing per memory
+// operation.
+func (c *Controller) newRequest() *Request {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+// Recycle returns a completed request to the controller's freelist.
+// Callers must not touch the request afterwards: the core calls this
+// exactly once, when the request retires from its instruction window
+// (the last reference the system holds); the controller itself recycles
+// posted writes when they leave the write queue.
+func (c *Controller) Recycle(r *Request) {
+	if r != nil {
+		c.free = append(c.free, r)
+	}
 }
 
 // Device exposes the DRAM device (energy model, tests).
@@ -152,7 +204,8 @@ func (c *Controller) SubmitRead(line uint64, core int, now int64) (*Request, boo
 	if len(cs.readQ) >= c.cfg.ReadQueueCap {
 		return nil, false
 	}
-	req := &Request{Kind: KindRead, Addr: addr, Line: line, Core: core, Arrive: now}
+	req := c.newRequest()
+	req.Kind, req.Addr, req.Line, req.Core, req.Arrive = KindRead, addr, line, core, now
 	c.endIdlePeriod(addr.Channel, now)
 	cs.readQ = append(cs.readQ, req)
 	cs.lastAddr = line
@@ -167,7 +220,8 @@ func (c *Controller) SubmitWrite(line uint64, core int, now int64) bool {
 	if len(cs.writeQ) >= c.cfg.WriteQueueCap {
 		return false
 	}
-	req := &Request{Kind: KindWrite, Addr: addr, Line: line, Core: core, Arrive: now}
+	req := c.newRequest()
+	req.Kind, req.Addr, req.Line, req.Core, req.Arrive = KindWrite, addr, line, core, now
 	c.endIdlePeriod(addr.Channel, now)
 	cs.writeQ = append(cs.writeQ, req)
 	cs.lastAddr = line
@@ -180,7 +234,6 @@ func (c *Controller) SubmitWrite(line uint64, core int, now int64) bool {
 // It returns false if the queue is full.
 func (c *Controller) SubmitRNG(core int, now int64) (*Request, bool) {
 	c.isRNGApp[core] = true
-	req := &Request{Kind: KindRNG, Core: core, Arrive: now}
 	if c.cfg.Policy == RNGAware {
 		hit := false
 		if pb, ok := c.cfg.Buffer.(PartitionedBuffer); ok {
@@ -189,6 +242,8 @@ func (c *Controller) SubmitRNG(core int, now int64) (*Request, bool) {
 			hit = c.cfg.Buffer.TakeWord()
 		}
 		if hit {
+			req := c.newRequest()
+			req.Kind, req.Core, req.Arrive = KindRNG, core, now
 			req.FromBuffer = true
 			req.Finish = now + c.cfg.BufferServeLatency
 			c.bufServed = append(c.bufServed, req)
@@ -197,12 +252,16 @@ func (c *Controller) SubmitRNG(core int, now int64) (*Request, bool) {
 		if len(c.rngQ) >= c.cfg.RNGQueueCap {
 			return nil, false
 		}
+		req := c.newRequest()
+		req.Kind, req.Core, req.Arrive = KindRNG, core, now
 		c.rngQ = append(c.rngQ, req)
 		return req, true
 	}
 	if len(c.rngPending) >= c.cfg.RNGQueueCap {
 		return nil, false
 	}
+	req := c.newRequest()
+	req.Kind, req.Core, req.Arrive = KindRNG, core, now
 	c.rngPending = append(c.rngPending, req)
 	return req, true
 }
@@ -231,10 +290,7 @@ func (c *Controller) popCompletions(now int64) {
 			cs.completions[cs.compHead] = nil
 			cs.compHead++
 		}
-		if cs.compHead > 64 && cs.compHead == len(cs.completions) {
-			cs.completions = cs.completions[:0]
-			cs.compHead = 0
-		}
+		cs.completions, cs.compHead = compactFIFO(cs.completions, cs.compHead)
 	}
 	for c.bufHead < len(c.bufServed) && c.bufServed[c.bufHead].Finish <= now {
 		req := c.bufServed[c.bufHead]
@@ -245,10 +301,27 @@ func (c *Controller) popCompletions(now int64) {
 		c.bufServed[c.bufHead] = nil
 		c.bufHead++
 	}
-	if c.bufHead > 64 && c.bufHead == len(c.bufServed) {
-		c.bufServed = c.bufServed[:0]
-		c.bufHead = 0
+	c.bufServed, c.bufHead = compactFIFO(c.bufServed, c.bufHead)
+}
+
+// compactFIFO bounds a head-indexed completion FIFO's memory. A fully
+// drained FIFO resets in place; a FIFO whose dead prefix dominates the
+// live tail shifts the tail to the front. The second case matters on
+// long runs with always-pending tail requests, where head-only
+// compaction would let the slice grow without bound.
+func compactFIFO(q []*Request, head int) ([]*Request, int) {
+	if head <= 64 {
+		return q, head
 	}
+	if head == len(q) {
+		return q[:0], 0
+	}
+	if head >= len(q)/2 {
+		n := copy(q, q[head:])
+		clear(q[n:])
+		return q[:n], 0
+	}
+	return q, head
 }
 
 // planDemand decides which channels should switch into RNG demand mode
@@ -262,7 +335,10 @@ func (c *Controller) popCompletions(now int64) {
 //     channels as the outstanding bit demand needs are switched,
 //     preferring the least-loaded channels.
 func (c *Controller) planDemand(now int64) []bool {
-	enter := make([]bool, len(c.chans))
+	enter := c.enterScratch
+	for i := range enter {
+		enter[i] = false
+	}
 	if c.cfg.Policy == RNGOblivious {
 		if len(c.rngPending) == 0 {
 			return enter
@@ -325,9 +401,10 @@ func (c *Controller) planDemand(now int64) []bool {
 		return enter
 	}
 
-	// Candidate channels, least-loaded first.
-	type cand struct{ ch, qlen int }
-	var cands []cand
+	// Candidate channels, least-loaded first (ties by channel index).
+	// The scratch list is insertion-sorted as it builds: channel counts
+	// are tiny, and reusing it keeps the per-tick path allocation-free.
+	cands := c.candScratch[:0]
 	for i := range c.chans {
 		cs := &c.chans[i]
 		if cs.mode != modeRegular {
@@ -350,15 +427,17 @@ func (c *Controller) planDemand(now int64) []bool {
 			eligible = true
 		}
 		if eligible {
-			cands = append(cands, cand{i, len(cs.readQ)})
+			nc := chanCand{i, len(cs.readQ)}
+			j := len(cands)
+			cands = append(cands, nc)
+			for j > 0 && cands[j-1].qlen > nc.qlen {
+				cands[j] = cands[j-1]
+				j--
+			}
+			cands[j] = nc
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].qlen != cands[b].qlen {
-			return cands[a].qlen < cands[b].qlen
-		}
-		return cands[a].ch < cands[b].ch
-	})
+	c.candScratch = cands
 	for i := 0; i < len(cands) && i < wanted; i++ {
 		enter[cands[i].ch] = true
 	}
@@ -406,7 +485,7 @@ func (c *Controller) anyReadQueued() bool {
 // tickChannel advances one channel by one cycle.
 func (c *Controller) tickChannel(chIdx int, now int64, enterDemand bool) {
 	cs := &c.chans[chIdx]
-	ch := c.dev.Channel(chIdx)
+	ch := c.chs[chIdx]
 	ch.TickStats()
 	cs.issuedThisTick = false
 
@@ -530,7 +609,7 @@ func (c *Controller) startRound(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
 	cs.mode = modeRound
 	cs.modeUntil = now + c.cfg.Mech.RoundLatency
-	c.dev.Channel(chIdx).Block(now, cs.modeUntil)
+	c.chs[chIdx].Block(now, cs.modeUntil)
 }
 
 // beginEnter switches a channel toward RNG mode.
@@ -543,12 +622,12 @@ func (c *Controller) beginEnter(chIdx int, ctx rngContext, now int64, oneShot bo
 		cs.fillStart = now
 	}
 	until := now + c.cfg.Mech.EnterLatency
-	ru := c.dev.Channel(chIdx).RefreshUntil
+	ru := c.chs[chIdx].RefreshUntil
 	if ru > now {
 		until = ru + c.cfg.Mech.EnterLatency
 	}
 	cs.modeUntil = until
-	c.dev.Channel(chIdx).Block(now, until)
+	c.chs[chIdx].Block(now, until)
 	c.stats.ModeSwitches++
 	if ctx == ctxDemand {
 		// RNG demand occupies the channel; any in-progress idle period
@@ -562,7 +641,7 @@ func (c *Controller) beginExit(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
 	cs.mode = modeExit
 	cs.modeUntil = now + c.cfg.Mech.ExitLatency
-	c.dev.Channel(chIdx).Block(now, cs.modeUntil)
+	c.chs[chIdx].Block(now, cs.modeUntil)
 }
 
 // creditBits distributes freshly generated bits: demand first, then the
@@ -594,7 +673,11 @@ func (c *Controller) creditBits(chIdx int, bits float64, now int64) {
 				head.Done = true
 				c.stats.RNGServed++
 				c.stats.RNGLatencySum += now - head.Arrive
-				*q = (*q)[1:]
+				// Shift rather than reslice so the queue keeps its
+				// preallocated backing array (zero steady-state allocs).
+				n := copy(*q, (*q)[1:])
+				(*q)[n] = nil
+				*q = (*q)[:n]
 			}
 		}
 	}
@@ -606,7 +689,7 @@ func (c *Controller) creditBits(chIdx int, bits float64, now int64) {
 // serviceRefresh walks the channel toward an all-bank refresh: close
 // open banks, then issue REF.
 func (c *Controller) serviceRefresh(chIdx int, now int64) {
-	ch := c.dev.Channel(chIdx)
+	ch := c.chs[chIdx]
 	if ch.CanREF(now) {
 		ch.IssueREF(now)
 		return
@@ -622,7 +705,7 @@ func (c *Controller) serviceRefresh(chIdx int, now int64) {
 // serveRegular performs regular-mode request service for one channel.
 func (c *Controller) serveRegular(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
-	ch := c.dev.Channel(chIdx)
+	ch := c.chs[chIdx]
 
 	// Write drain hysteresis.
 	if len(cs.writeQ) >= c.cfg.WriteDrainHigh {
@@ -635,9 +718,16 @@ func (c *Controller) serveRegular(chIdx int, now int64) {
 
 	if serveWrites {
 		if idx := pickWrite(cs.writeQ, ch, now); idx >= 0 {
-			c.issueFor(chIdx, cs.writeQ[idx], now)
-			if cs.writeQ[idx].Done {
-				cs.writeQ = append(cs.writeQ[:idx], cs.writeQ[idx+1:]...)
+			req := cs.writeQ[idx]
+			c.issueFor(chIdx, req, now)
+			if req.Done {
+				n := len(cs.writeQ)
+				copy(cs.writeQ[idx:], cs.writeQ[idx+1:])
+				cs.writeQ[n-1] = nil
+				cs.writeQ = cs.writeQ[:n-1]
+				// Writes are posted: the core dropped its reference at
+				// submission, so the controller owns the recycle.
+				c.Recycle(req)
 			}
 		}
 		return
@@ -649,7 +739,10 @@ func (c *Controller) serveRegular(chIdx int, now int64) {
 			c.issueFor(chIdx, req, now)
 			if req.Finish > 0 { // column command issued
 				c.cfg.Scheduler.OnServed(req, chIdx)
-				cs.readQ = append(cs.readQ[:idx], cs.readQ[idx+1:]...)
+				n := len(cs.readQ)
+				copy(cs.readQ[idx:], cs.readQ[idx+1:])
+				cs.readQ[n-1] = nil
+				cs.readQ = cs.readQ[:n-1]
 				if c.stallCtr > 0 && c.deprioRNG == false {
 					// A request from the deprioritized regular queue
 					// was scheduled; reset the stall counter.
@@ -683,7 +776,7 @@ func pickWrite(q []*Request, ch *dram.Channel, now int64) int {
 // end).
 func (c *Controller) issueFor(chIdx int, req *Request, now int64) {
 	cs := &c.chans[chIdx]
-	ch := c.dev.Channel(chIdx)
+	ch := c.chs[chIdx]
 	b := &ch.Banks[req.Addr.Bank]
 	switch {
 	case b.RowHit(req.Addr.Row):

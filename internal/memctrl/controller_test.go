@@ -618,3 +618,101 @@ func TestMechanismThroughputScalesService(t *testing.T) {
 		t.Fatal("single-request latency: D-RaNGe should beat QUAC")
 	}
 }
+
+// The freelist must recycle retired requests: a recycled handle comes
+// back zeroed from the next submission instead of a fresh allocation.
+func TestRequestFreelistRecycling(t *testing.T) {
+	c := mustController(t, DefaultConfig(1))
+	g := c.Config().Geom
+	req, ok := c.SubmitRead(lineFor(g, 0, 0, 10, 0), 0, 0)
+	if !ok {
+		t.Fatal("submit failed")
+	}
+	step(c, 0, 100)
+	if !req.Done {
+		t.Fatal("read not served in 100 ticks")
+	}
+	finish := req.Finish
+	c.Recycle(req)
+	req2, ok := c.SubmitRead(lineFor(g, 0, 1, 20, 0), 0, 101)
+	if !ok {
+		t.Fatal("second submit failed")
+	}
+	if req2 != req {
+		t.Fatal("freelist did not recycle the retired request")
+	}
+	if req2.Done || req2.Finish == finish || req2.Arrive != 101 {
+		t.Fatalf("recycled request not reset: %+v", req2)
+	}
+}
+
+// compactFIFO must bound the dead prefix of a completion FIFO even when
+// the tail stays pending — the mid-stream case that head-only
+// compaction misses, letting a long run grow the slice without bound.
+func TestCompactFIFOBoundsMidStream(t *testing.T) {
+	mk := func(n int) []*Request {
+		q := make([]*Request, n)
+		for i := range q {
+			q[i] = &Request{}
+		}
+		return q
+	}
+
+	// Fully drained past the threshold: reset in place.
+	q, head := compactFIFO(mk(100), 100)
+	if len(q) != 0 || head != 0 || cap(q) != 100 {
+		t.Fatalf("drained: len=%d head=%d cap=%d", len(q), head, cap(q))
+	}
+
+	// Dominant dead prefix with a live tail: tail shifts to the front.
+	orig := mk(100)
+	live := append([]*Request(nil), orig[90:]...)
+	q, head = compactFIFO(orig, 90)
+	if head != 0 || len(q) != 10 {
+		t.Fatalf("mid-stream: len=%d head=%d", len(q), head)
+	}
+	for i, r := range q {
+		if r != live[i] {
+			t.Fatalf("live tail reordered at %d", i)
+		}
+	}
+
+	// Small dead prefix: not worth compacting yet.
+	q, head = compactFIFO(mk(100), 30)
+	if head != 30 || len(q) != 100 {
+		t.Fatalf("small prefix: len=%d head=%d", len(q), head)
+	}
+}
+
+// A long stream with permanently pending tail requests must not grow
+// the completion FIFO without bound (the regression the mid-stream
+// compaction fixes).
+func TestCompletionFIFOBoundedWithPendingTail(t *testing.T) {
+	q := make([]*Request, 0, 8)
+	head := 0
+	maxCap := 0
+	live := &Request{} // never completes; always sits at the tail
+	for i := 0; i < 10000; i++ {
+		q = append(q, &Request{}) // completes immediately
+		q = append(q, live)
+		// Pop the completed head(s), as popCompletions would.
+		for head < len(q) && q[head] != live {
+			q[head] = nil
+			head++
+		}
+		q, head = compactFIFO(q, head)
+		if cap(q) > maxCap {
+			maxCap = cap(q)
+		}
+		// The live request stays; drop and re-add it each round to
+		// model one pending tail entry.
+		if head < len(q) && q[head] == live {
+			q[head] = nil
+			head++
+			q, head = compactFIFO(q, head)
+		}
+	}
+	if maxCap > 1024 {
+		t.Fatalf("completion FIFO grew to cap %d despite compaction", maxCap)
+	}
+}

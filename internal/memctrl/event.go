@@ -1,0 +1,206 @@
+package memctrl
+
+// Event-driven support for the controller: NextEventTick computes a
+// lower bound on the next tick at which Tick could change any state
+// beyond the per-tick accumulators, and AccountSkip batch-credits those
+// accumulators for a proven-quiescent run of skipped ticks.
+//
+// The invariant the simulation engine relies on (see internal/sim):
+// for every tick t with now < t < NextEventTick(now), calling Tick(t)
+// on the post-Tick(now) state would change nothing except
+//
+//   - dram.Channel.ActiveTick   (+1 per tick with an open bank),
+//   - Stats.TicksRNGMode        (+1 per tick per channel in RNG mode),
+//   - channelState.greedyIdle   (+1 per idle tick under FillGreedy),
+//   - stallCtr                  (+1 per tick both arbitration sides wait),
+//
+// all of which AccountSkip replays in one step. NextEventTick must
+// never overshoot a real state change; it may undershoot freely (the
+// engine just executes a tick that turns out to be a no-op and asks
+// again).
+func (c *Controller) NextEventTick(now int64) int64 {
+	next := c.cfg.Scheduler.NextEventTick(now)
+
+	// A consumed-next-arbitration override must be consumed on the very
+	// next tick, exactly as the ticked engine would.
+	if c.forceOverride {
+		return now + 1
+	}
+
+	pending := len(c.rngQ) > 0 || len(c.rngPending) > 0
+	if pending {
+		// planDemand may switch a regular-mode channel into RNG demand
+		// mode. Its decision depends only on state that cannot change
+		// during a skip, and this tick's call already acted on it — but
+		// a channel that returned to regular mode during this very tick
+		// was invisible to it, and a refresh-blocked channel could not
+		// obey it. Be conservative: any regular-mode channel that is
+		// not refresh-blocked forces full ticking while demand is
+		// queued. (Refresh-blocked channels become eligible at their
+		// RefreshUntil, which the per-channel scan below includes.)
+		for i := range c.chans {
+			if c.chans[i].mode == modeRegular && now >= c.chs[i].RefreshUntil {
+				return now + 1
+			}
+		}
+		// All channels are mode-switched or refresh-blocked: only the
+		// starvation counter advances, reaching its limit at a known
+		// tick.
+		if c.cfg.Policy == RNGAware && len(c.rngQ) > 0 && c.anyReadQueued() {
+			if t := now + (c.cfg.StallLimit - c.stallCtr); t < next {
+				next = t
+			}
+		}
+	}
+
+	for i := range c.chans {
+		cs := &c.chans[i]
+		ch := c.chs[i]
+
+		// Pending read completions pop at a known tick (the FIFO is in
+		// finish order: the column latency is constant).
+		if cs.compHead < len(cs.completions) {
+			if t := cs.completions[cs.compHead].Finish; t < next {
+				next = t
+			}
+		}
+
+		if cs.mode != modeRegular {
+			// Enter/round/exit boundaries are the only RNG-mode events.
+			if cs.modeUntil < next {
+				next = cs.modeUntil
+			}
+			continue
+		}
+
+		if now < ch.RefreshUntil {
+			// A refresh in flight blocks the channel entirely.
+			if ch.RefreshUntil < next {
+				next = ch.RefreshUntil
+			}
+			continue
+		}
+		if ch.RefreshDue(now) {
+			// Mid-refresh-walk: the controller precharges banks toward
+			// REF on upcoming ticks.
+			return now + 1
+		}
+		if ch.NextRefresh < next {
+			next = ch.NextRefresh
+		}
+
+		// Queued demand: the earliest tick any queued request's next
+		// command becomes legal. Only the queue the drain state selects
+		// can issue, and the drain state cannot flip during a skip
+		// (queue lengths are events).
+		if len(cs.readQ) > 0 || len(cs.writeQ) > 0 {
+			serveWrites := cs.draining || (len(cs.readQ) == 0 && len(cs.writeQ) > 0)
+			q := cs.readQ
+			if serveWrites {
+				q = cs.writeQ
+			}
+			for _, req := range q {
+				t := ch.EarliestIssue(req.Addr.Bank, req.Addr.Row, req.Kind == KindWrite)
+				if t <= now {
+					t = now + 1
+				}
+				if t < next {
+					next = t
+				}
+			}
+		}
+
+		// Buffer-fill trigger (FillPredictor).
+		if t := c.fillEventTick(i, now); t < next {
+			next = t
+		}
+
+		// Greedy fill: the counter fires a deposit at a known tick.
+		if c.cfg.Fill == FillGreedy && c.cfg.Buffer != nil && !c.cfg.Buffer.Full() &&
+			len(cs.readQ) == 0 && len(cs.writeQ) == 0 {
+			if t := now + (c.cfg.PeriodThreshold - cs.greedyIdle); t < next {
+				next = t
+			}
+		}
+	}
+
+	// Buffer-served RNG completions (FIFO in finish order).
+	if c.bufHead < len(c.bufServed) {
+		if t := c.bufServed[c.bufHead].Finish; t < next {
+			next = t
+		}
+	}
+
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// fillEventTick returns the next tick at which channel chIdx's
+// FillPredictor logic could act — either trigger a fill excursion or
+// consult the idleness predictor (consultations mutate predictor
+// statistics, so a tick that would consult may never be skipped). It
+// mirrors fillTriggerReady's condition order without calling the
+// predictor.
+func (c *Controller) fillEventTick(chIdx int, now int64) int64 {
+	cs := &c.chans[chIdx]
+	if c.cfg.Fill != FillPredictor {
+		return noEventTick
+	}
+	if c.cfg.Buffer == nil || c.cfg.Buffer.Full() || len(c.rngQ) > 0 {
+		return noEventTick
+	}
+	if cs.draining {
+		return noEventTick
+	}
+	at := now + 1
+	if cs.fillCooldownUntil > at {
+		at = cs.fillCooldownUntil
+	}
+	if len(cs.readQ) == 0 && len(cs.writeQ) == 0 {
+		// Pure idle period: the cached prediction decides without a
+		// fresh consult. A "short" call means no trigger until some
+		// other event ends the period.
+		if cs.periodPred {
+			return at
+		}
+		return noEventTick
+	}
+	if c.cfg.LowUtilThreshold <= 0 || len(cs.readQ) >= c.cfg.LowUtilThreshold {
+		return noEventTick
+	}
+	if len(cs.writeQ) >= c.cfg.WriteDrainHigh {
+		return noEventTick
+	}
+	// Low-utilization fill decision point: from `at` on, every tick
+	// either triggers (nil predictor) or consults the predictor.
+	return at
+}
+
+// AccountSkip replays n skipped quiescent ticks' worth of per-tick
+// accumulators onto the controller, for ticks now+1 .. now+n (now being
+// the last executed tick). It must mirror exactly what n Tick calls
+// would have accumulated given that NextEventTick(now) > now+n.
+func (c *Controller) AccountSkip(now, n int64) {
+	for i := range c.chans {
+		cs := &c.chans[i]
+		ch := c.chs[i]
+		ch.SkipStats(n)
+		if cs.mode != modeRegular {
+			c.stats.TicksRNGMode += n
+			continue
+		}
+		if now < ch.RefreshUntil {
+			// Blocked ticks never reach idle bookkeeping.
+			continue
+		}
+		if c.cfg.Fill == FillGreedy && c.cfg.Buffer != nil && !c.cfg.Buffer.Full() &&
+			len(cs.readQ) == 0 && len(cs.writeQ) == 0 {
+			cs.greedyIdle += n
+		}
+	}
+	if c.cfg.Policy == RNGAware && len(c.rngQ) > 0 && c.anyReadQueued() {
+		c.stallCtr += n
+	}
+}

@@ -18,7 +18,18 @@ type Scheduler interface {
 	OnServed(req *Request, chIdx int)
 	// Tick advances time-based scheduler state (e.g. BLISS clearing).
 	Tick(now int64)
+	// NextEventTick returns a lower bound (> now) on the next tick at
+	// which Tick would change scheduler state. Schedulers with no
+	// time-based state return a far-future tick; the event-driven
+	// engine never skips past the returned tick.
+	NextEventTick(now int64) int64
 }
+
+// noEventTick is the "no time-based event" sentinel schedulers return
+// from NextEventTick. It is far enough in the future that no simulation
+// reaches it, while leaving headroom against int64 overflow in
+// comparisons.
+const noEventTick = int64(1) << 62
 
 // reqReadiness classifies how ready a request is to issue this tick.
 type reqReadiness uint8
@@ -90,6 +101,9 @@ func (*FRFCFS) OnServed(*Request, int) {}
 
 // Tick implements Scheduler.
 func (*FRFCFS) Tick(int64) {}
+
+// NextEventTick implements Scheduler: FR-FCFS has no time-based state.
+func (*FRFCFS) NextEventTick(int64) int64 { return noEventTick }
 
 // FRFCFSCap is FR-FCFS with a column-access cap (Mutlu & Moscibroda,
 // MICRO 2007): after Cap consecutive row-buffer hits to the same row on
@@ -164,6 +178,9 @@ func (s *FRFCFSCap) OnServed(req *Request, chIdx int) {
 
 // Tick implements Scheduler.
 func (*FRFCFSCap) Tick(int64) {}
+
+// NextEventTick implements Scheduler: the cap has no time-based state.
+func (*FRFCFSCap) NextEventTick(int64) int64 { return noEventTick }
 
 // BLISS is the Blacklisting memory scheduler (Subramanian et al., ICCD
 // 2014 / TPDS 2016): an application served BlacklistThreshold requests
@@ -244,6 +261,12 @@ func (s *BLISS) Tick(now int64) {
 		s.nextClear = now + s.ClearInterval
 	}
 }
+
+// NextEventTick implements Scheduler: the clearing tick must execute
+// even when the blacklist is empty, because Tick re-anchors nextClear
+// to the tick it actually ran at — skipping it would shift every later
+// clearing boundary.
+func (s *BLISS) NextEventTick(int64) int64 { return s.nextClear }
 
 // Blacklisted exposes the blacklist for tests.
 func (s *BLISS) Blacklisted(core int) bool { return s.blacklisted[core] }

@@ -13,6 +13,8 @@
 // model, which consumes this package only as its physical-noise source.
 package prng
 
+import "math"
+
 // SplitMix64 is the 64-bit SplitMix generator of Steele, Lea and Flood.
 // It is primarily used to derive well-distributed seeds for Xoshiro from
 // a single human-chosen seed. The zero value is a valid generator seeded
@@ -87,6 +89,17 @@ func (x *Xoshiro256) Float64() float64 {
 	return float64(x.Uint64()>>11) / (1 << 53)
 }
 
+// bernoulliThreshold converts a probability into the 53-bit integer
+// threshold t such that Float64() < p exactly when Uint64()>>11 < t.
+// The equivalence is exact: Float64() is (Uint64()>>11) * 2^-53 with
+// both the shift and the power-of-two scaling free of rounding, so for
+// the integer draw a, float64(a) < p*2^53 iff a < ceil(p*2^53) (the
+// integer comparison sidesteps a float division per draw — the hot
+// loops below draw once per simulated instruction gap unit).
+func bernoulliThreshold(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
 // Bernoulli returns true with probability p (clamped to [0, 1]).
 func (x *Xoshiro256) Bernoulli(p float64) bool {
 	if p <= 0 {
@@ -95,7 +108,7 @@ func (x *Xoshiro256) Bernoulli(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return x.Float64() < p
+	return x.Uint64()>>11 < bernoulliThreshold(p)
 }
 
 // Geometric returns a draw from a geometric distribution with success
@@ -108,8 +121,13 @@ func (x *Xoshiro256) Geometric(p float64) int {
 	if p == 1 {
 		return 0
 	}
+	// One generator draw per failed trial, exactly as the textbook
+	// Bernoulli loop consumes, so the stream stays bit-identical to the
+	// naive formulation — but with the comparison hoisted to a single
+	// precomputed integer threshold.
+	thr := bernoulliThreshold(p)
 	n := 0
-	for !x.Bernoulli(p) {
+	for x.Uint64()>>11 >= thr {
 		n++
 		if n == 1<<20 {
 			// Safety valve: with any sane p the loop terminates long

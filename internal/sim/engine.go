@@ -1,0 +1,149 @@
+package sim
+
+// The simulation engines. Run executes one simulation with one of two
+// inner loops over the same component models:
+//
+//   - The event-driven engine (default) walks executed ticks only. After
+//     ticking every component at `now`, it asks each component for
+//     NextEventTick(now) — a lower bound on the next tick at which that
+//     component's state can change — and fast-forwards to the minimum,
+//     batch-crediting the skipped ticks' per-tick accumulators (core
+//     stall counters, RNG-mode tick counts, active-standby energy
+//     ticks, greedy-fill idle counters, starvation counters) through
+//     AccountSkip.
+//   - The ticked engine (DRSTRANGE_ENGINE=ticked) is the reference
+//     tick-by-tick walk, kept selectable for differential testing.
+//
+// The engine invariant: NextEventTick must never overshoot a state
+// change. For every component and every tick t in
+// (now, NextEventTick(now)), ticking the component at t — given that no
+// other component acts either, which the minimum guarantees — must be a
+// no-op up to the accumulators AccountSkip replays. Undershooting is
+// always safe: the engine executes a tick that turns out to be a no-op
+// and asks again. Anything time-based a component adds (a new timer, a
+// new threshold counter) must either be reflected in its NextEventTick
+// bound or force `now+1`.
+//
+// Under this invariant the two engines produce bit-identical results —
+// every stat, every figure byte — which TestEngineDifferential*
+// enforces across designs, mechanisms, schedulers, and priorities.
+//
+// Knob matrix (environment, with matching flags on cmd/drstrange and
+// cmd/figures):
+//
+//	DRSTRANGE_ENGINE   event (default) | ticked — inner-loop selection,
+//	                   identical output either way
+//	DRSTRANGE_WORKERS  parallel simulations across runs (default
+//	                   GOMAXPROCS); output byte-identical at any count
+//	DRSTRANGE_INSTR    per-core instruction budget per run (default
+//	                   100000); sharpens statistics at proportional cost
+
+import (
+	"os"
+	"sync"
+
+	"drstrange/internal/cpu"
+	"drstrange/internal/memctrl"
+)
+
+// Engine names accepted by SetEngine and DRSTRANGE_ENGINE.
+const (
+	// EngineEvent is the event-driven, tick-skipping engine (default).
+	EngineEvent = "event"
+	// EngineTicked is the reference tick-by-tick engine.
+	EngineTicked = "ticked"
+)
+
+var (
+	engineMu  sync.Mutex
+	engineSet string // SetEngine override; "" = unset
+
+	// envEngine caches the DRSTRANGE_ENGINE lookup: Engine() sits on
+	// the memo-key path, once per simulation request.
+	envEngine = sync.OnceValue(func() string {
+		if os.Getenv("DRSTRANGE_ENGINE") == EngineTicked {
+			return EngineTicked
+		}
+		return EngineEvent
+	})
+)
+
+// Engine reports which inner loop Run uses: the SetEngine override if
+// set, else DRSTRANGE_ENGINE, else the event-driven engine.
+func Engine() string {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	if engineSet != "" {
+		return engineSet
+	}
+	return envEngine()
+}
+
+// SetEngine overrides the engine for subsequent runs (the cmd/ drivers'
+// -engine flag and the differential tests); "" restores the default
+// resolution. Unknown names select the default event engine.
+func SetEngine(name string) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	engineSet = name
+}
+
+// runTicked is the reference inner loop: every component ticks at every
+// memory cycle. It returns the tick the last core finished at, or
+// maxTicks if the budget ran out.
+func runTicked(ctrl *memctrl.Controller, cores []*cpu.Core, maxTicks int64) int64 {
+	now := int64(0)
+	for ; now < maxTicks; now++ {
+		ctrl.Tick(now)
+		done := true
+		for _, c := range cores {
+			c.Tick(now)
+			if !c.Finished() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return now
+}
+
+// runEvent is the event-driven inner loop: identical component ticking
+// in identical order, restricted to ticks at which some component can
+// change state, with the gaps batch-accounted. See the package comment
+// at the top of this file for the invariant that makes the two loops
+// bit-identical.
+func runEvent(ctrl *memctrl.Controller, cores []*cpu.Core, maxTicks int64) int64 {
+	now := int64(0)
+	for now < maxTicks {
+		ctrl.Tick(now)
+		done := true
+		for _, c := range cores {
+			c.Tick(now)
+			if !c.Finished() {
+				done = false
+			}
+		}
+		if done {
+			return now
+		}
+		next := ctrl.NextEventTick(now)
+		for _, c := range cores {
+			if t := c.NextEventTick(now); t < next {
+				next = t
+			}
+		}
+		if next > maxTicks {
+			next = maxTicks
+		}
+		if n := next - now - 1; n > 0 {
+			ctrl.AccountSkip(now, n)
+			for _, c := range cores {
+				c.AccountSkip(n)
+			}
+		}
+		now = next
+	}
+	return now
+}

@@ -81,9 +81,14 @@ func single[T any](get func() map[string]*inflight[T], key string, compute func(
 
 func runKey(cfg RunConfig) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "d%d|%s|rng%g|m%s|b%d|i%d|s%d|p%v|t%s",
+	// The engine is part of the key even though both engines produce
+	// identical results: the differential tests flip engines
+	// mid-process, and a cache hit across engines would make them
+	// vacuously pass.
+	fmt.Fprintf(&b, "d%d|%s|rng%g|m%s|b%d|i%d|s%d|p%v|t%s|e%s",
 		cfg.Design, strings.Join(cfg.Mix.Apps, ","), cfg.Mix.RNGMbps,
-		cfg.Mech.Name, cfg.BufferWords, cfg.Instructions, cfg.Seed, cfg.Priorities, cfg.TweakID)
+		cfg.Mech.Name, cfg.BufferWords, cfg.Instructions, cfg.Seed, cfg.Priorities, cfg.TweakID,
+		Engine())
 	return b.String()
 }
 
@@ -108,8 +113,8 @@ func memoRun(cfg RunConfig) RunResult {
 // design (memory-related slowdown measures interference added by
 // sharing, not design improvements).
 func aloneResult(app AppResult, shared RunConfig, d Design) AppResult {
-	key := fmt.Sprintf("%s|d%d|b%d|m%s|i%d|s%d", app.Name, d, shared.BufferWords,
-		shared.Mech.Name, shared.Instructions, shared.Seed)
+	key := fmt.Sprintf("%s|d%d|b%d|m%s|i%d|s%d|e%s", app.Name, d, shared.BufferWords,
+		shared.Mech.Name, shared.Instructions, shared.Seed, Engine())
 	return single(func() map[string]*inflight[AppResult] { return aloneMemo },
 		key, func() AppResult {
 			var mix workload.Mix

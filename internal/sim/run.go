@@ -129,19 +129,11 @@ func Run(cfg RunConfig) RunResult {
 	}
 
 	maxTicks := cfg.Instructions * 2000
-	now := int64(0)
-	for ; now < maxTicks; now++ {
-		ctrl.Tick(now)
-		done := true
-		for _, c := range cores {
-			c.Tick(now)
-			if !c.Finished() {
-				done = false
-			}
-		}
-		if done {
-			break
-		}
+	var now int64
+	if Engine() == EngineTicked {
+		now = runTicked(ctrl, cores, maxTicks)
+	} else {
+		now = runEvent(ctrl, cores, maxTicks)
 	}
 	if now >= maxTicks {
 		panic(fmt.Sprintf("sim: run exceeded %d ticks (design=%v mix=%s)", maxTicks, cfg.Design, cfg.Mix.Name))

@@ -144,9 +144,13 @@ type rngTrace struct {
 
 	// pLoad is the probability of prepending a light load to an RNG
 	// request, chosen so the regular-access rate hits RegularMPKI
-	// without disturbing the RNG request cadence.
-	pLoad   float64
-	pending *cpu.Op
+	// without disturbing the RNG request cadence. pending is held by
+	// value: NextOp runs once per memory operation, and a heap
+	// allocation there would dominate the simulator's steady-state
+	// allocation profile.
+	pLoad      float64
+	pending    cpu.Op
+	hasPending bool
 }
 
 // NewRNGTrace builds the synthetic RNG benchmark trace.
@@ -172,14 +176,14 @@ func NewRNGTrace(cfg RNGTraceConfig, geom dram.Geometry) cpu.Trace {
 // with light loads spread across all banks and channels interleaved
 // into the compute gaps.
 func (t *rngTrace) NextOp() cpu.Op {
-	if t.pending != nil {
-		op := *t.pending
-		t.pending = nil
-		return op
+	if t.hasPending {
+		t.hasPending = false
+		return t.pending
 	}
 	if t.pLoad > 0 && t.rng.Bernoulli(t.pLoad) {
 		half := t.gap / 2
-		t.pending = &cpu.Op{NonMem: t.gap - half, Kind: cpu.OpRand}
+		t.pending = cpu.Op{NonMem: t.gap - half, Kind: cpu.OpRand}
+		t.hasPending = true
 		line := t.geom.LineOf(dram.Addr{
 			Channel: t.rng.Intn(t.geom.Channels),
 			Bank:    t.rng.Intn(t.geom.Banks),
