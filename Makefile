@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench-smoke bench-json figures ci
+.PHONY: all build test race fmt vet bench-smoke bench-json figures examples-smoke ci
 
 all: build
 
@@ -28,11 +28,13 @@ vet:
 bench-smoke:
 	DRSTRANGE_INSTR=5000 $(GO) test -run '^$$' -bench BenchmarkFigure1 -benchtime 1x .
 
-# Machine-readable perf trajectory: run every figure benchmark once and
-# emit BENCH_<utc timestamp>.json with ns/op, the figure's headline
-# metric, and allocs/op per benchmark. Honors DRSTRANGE_INSTR /
-# DRSTRANGE_WORKERS / DRSTRANGE_ENGINE; CI uploads the file as an
-# artifact so speedups and regressions are diffable across PRs.
+# Machine-readable perf trajectory: run every benchmark once — the
+# figure drivers plus the open-loop ServeLoad serving sweep — and emit
+# BENCH_<utc timestamp>.json with ns/op, each benchmark's headline
+# metric (figure headline or DR-STRaNGe's mid-load p99 serving latency),
+# and allocs/op. Honors DRSTRANGE_INSTR / DRSTRANGE_WORKERS /
+# DRSTRANGE_ENGINE; CI uploads the file as an artifact so speedups and
+# regressions are diffable across PRs.
 # (The bench output goes through a temp file, not a pipe, so a failing
 # benchmark fails the target instead of leaving a partial snapshot.)
 bench-json:
@@ -47,4 +49,15 @@ bench-json:
 figures:
 	$(GO) run ./cmd/figures -fig all
 
-ci: fmt vet build test race bench-smoke
+# Build and run every example plus a small cmd/rngbench sweep: the
+# end-to-end smoke of the application interface, the interactive
+# system, and the open-loop serving layer.
+examples-smoke:
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/quickstart
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/fairness
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/idleness
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/keygen
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/openloop
+	$(GO) run ./cmd/rngbench -loads 320,1280 -warmup 5000 -window 20000
+
+ci: fmt vet build test race bench-smoke examples-smoke

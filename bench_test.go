@@ -112,6 +112,32 @@ func BenchmarkSection6Security(b *testing.B) { runExperiment(b, "sec6") }
 // BenchmarkTable1 renders the simulated system configuration.
 func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
 
+// BenchmarkServeLoad is the serving-throughput headline: the open-loop
+// offered-load sweep of cmd/rngbench (Poisson arrivals against the
+// RNG-oblivious baseline and DR-STRaNGe, with background contention),
+// reporting DR-STRaNGe's p99 request latency at mid load (ns) as the
+// headline metric. BENCH_*.json tracks it alongside the figure
+// benchmarks.
+func BenchmarkServeLoad(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sim.ServeConfig{
+		Background:  workload.Mix{Name: "mcf", Apps: []string{"mcf"}},
+		WarmupTicks: 10_000,
+		WindowTicks: 50_000,
+	}
+	designs := []sim.Design{sim.DesignOblivious, sim.DesignDRStrange}
+	loads := []float64{320, 1280, 2560}
+	var figs []sim.Figure
+	for i := 0; i < b.N; i++ {
+		figs = sim.ServeCurves(designs, cfg, loads)
+	}
+	if _, loaded := printOnce.LoadOrStore("serveload", true); !loaded {
+		fmt.Print(sim.RenderAll(figs))
+	}
+	// DR-STRaNGe's mid-load row: [offered achieved p50 p95 p99 p999 bufhit].
+	b.ReportMetric(figs[1].Series[1].Values[4], "headline")
+}
+
 // BenchmarkAblationModeSwitchCost measures sensitivity to the RNG-mode
 // switch overhead (a design choice DESIGN.md calls out): the same
 // workload under mechanisms with scaled enter/exit latencies.

@@ -19,22 +19,11 @@ import (
 	"drstrange/internal/workload"
 )
 
-var designs = map[string]sim.Design{
-	"oblivious":           sim.DesignOblivious,
-	"bliss":               sim.DesignBLISS,
-	"rngaware":            sim.DesignRNGAwareNoBuffer,
-	"greedy":              sim.DesignGreedy,
-	"drstrange":           sim.DesignDRStrange,
-	"drstrange-nopred":    sim.DesignDRStrangeNoPred,
-	"drstrange-rl":        sim.DesignDRStrangeRL,
-	"drstrange-nolowutil": sim.DesignDRStrangeNoLowUtil,
-}
-
 func main() {
 	apps := flag.String("apps", "soplex", "comma-separated non-RNG applications (see -listapps)")
 	rng := flag.Float64("rng", 5120, "RNG benchmark required throughput in Mb/s (0 = none)")
-	designName := flag.String("design", "drstrange", "system design: oblivious|bliss|rngaware|greedy|drstrange|drstrange-nopred|drstrange-rl|drstrange-nolowutil")
-	mech := flag.String("mech", "drange", "TRNG mechanism: drange|quac")
+	designName := flag.String("design", "drstrange", "system design: "+strings.Join(sim.DesignNames(), "|"))
+	mech := flag.String("mech", "drange", "TRNG mechanism: "+strings.Join(trng.MechanismNames(), "|"))
 	instr := flag.Int64("instr", sim.DefaultInstructions(), "per-core instruction budget")
 	buffer := flag.Int("buffer", 0, "random number buffer entries (0 = design default)")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)")
@@ -55,14 +44,17 @@ func main() {
 		return
 	}
 
-	design, ok := designs[*designName]
+	design, ok := sim.DesignByName(*designName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "drstrange: unknown design %q\n", *designName)
+		fmt.Fprintf(os.Stderr, "drstrange: unknown design %q (valid: %s)\n",
+			*designName, strings.Join(sim.DesignNames(), ", "))
 		os.Exit(2)
 	}
-	mechanism := trng.DRaNGe()
-	if *mech == "quac" {
-		mechanism = trng.QUACTRNG()
+	mechanism, ok := trng.ByName(*mech)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "drstrange: unknown mechanism %q (valid: %s)\n",
+			*mech, strings.Join(trng.MechanismNames(), ", "))
+		os.Exit(2)
 	}
 
 	var names []string
@@ -72,7 +64,8 @@ func main() {
 			continue
 		}
 		if _, ok := workload.ByName(a); !ok {
-			fmt.Fprintf(os.Stderr, "drstrange: unknown application %q (use -listapps)\n", a)
+			fmt.Fprintf(os.Stderr, "drstrange: unknown application %q (valid: %s)\n",
+				a, strings.Join(workload.ProfileNames(), ", "))
 			os.Exit(2)
 		}
 		names = append(names, a)

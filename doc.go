@@ -9,7 +9,38 @@
 // figure of the paper's evaluation; EXPERIMENTS.md records
 // paper-vs-measured results.
 //
-// Three environment variables tune every driver and benchmark:
+// # Steppable core and open-loop serving
+//
+// Every driver is a client of one steppable system core, sim.System:
+// construction (cores + memory controller + TRNG from a RunConfig) is
+// separate from time advancement (Step/StepTo under either engine),
+// and results never depend on how a run is sliced into StepTo calls.
+// sim.Run steps a System to completion for the closed-loop trace
+// experiments; the open-loop layer steps measurement windows while
+// submitting externally generated RNG requests through the System's
+// injection port (RunConfig.Clients + InjectRNG), which records
+// per-request submit/accept/finish timestamps.
+//
+// On top of that port, sim.ServeLoad sweeps offered load: arrival
+// processes from internal/workload (Poisson, bursty, diurnal trace)
+// submit byte-requests from N simulated clients, and each point
+// reports served throughput, p50/p95/p99/p999 request latency, and
+// buffer hit rate. cmd/rngbench prints the resulting latency-vs-load
+// curves per design — the open-loop generalization of the paper's
+// Figure 2, and the tail-latency comparison of DR-STRaNGe's buffering
+// against on-demand generation that the paper never plots. A worked
+// example:
+//
+//	go run ./cmd/rngbench -designs oblivious,drstrange \
+//	    -loads 320,1280,2560 -apps mcf -arrival poisson
+//
+// prints one table per design with offered vs achieved Mb/s, the
+// latency percentiles in ns, and the buffer hit rate per load point;
+// examples/openloop is the runnable demo of the same sweep.
+//
+// Three environment variables tune every driver and benchmark (their
+// accepted values are documented and validated in internal/sim/env.go;
+// invalid settings warn once on stderr and fall back):
 //
 //   - DRSTRANGE_INSTR sets the per-core instruction budget of a
 //     measured run (default 100000; larger budgets sharpen the
@@ -23,6 +54,6 @@
 //     reference cycle-by-cycle walk. The two produce bit-identical
 //     results; the ticked loop exists for differential testing.
 //
-// Both cmd/drstrange and cmd/figures also accept -instr, -workers, and
-// -engine flags with the same meaning.
+// The cmd/ drivers also accept -workers and -engine flags with the
+// same meaning (and -instr where an instruction budget applies).
 package drstrange

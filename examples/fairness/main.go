@@ -14,7 +14,7 @@ import (
 
 func main() {
 	mix := workload.Mix{Name: "demo", Apps: []string{"soplex"}, RNGMbps: 5120}
-	const instr = 150_000
+	instr := sim.DefaultInstructions() // DRSTRANGE_INSTR overrides (CI smoke shrinks it)
 
 	fmt.Printf("workload: %s + synthetic RNG app (5.12 Gb/s demand), %d instructions/core\n\n", mix.Apps[0], instr)
 	fmt.Printf("%-28s %10s %10s %10s %10s\n", "design", "nonRNG sd", "RNG sd", "unfairness", "serve rate")

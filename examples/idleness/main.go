@@ -36,7 +36,7 @@ func histogram(lengths []float64) {
 }
 
 func main() {
-	const instr = 100_000
+	instr := sim.DefaultInstructions() // DRSTRANGE_INSTR overrides (CI smoke shrinks it)
 	for _, app := range []string{"ycsb0", "libq"} {
 		p := workload.MustByName(app)
 		lengths := sim.IdleProfile(workload.Mix{Name: app, Apps: []string{app}}, instr)

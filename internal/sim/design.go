@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"drstrange/internal/core"
 	"drstrange/internal/memctrl"
@@ -70,6 +71,35 @@ func (d Design) String() string {
 	default:
 		return fmt.Sprintf("Design(%d)", uint8(d))
 	}
+}
+
+// designNames maps the flag-friendly names the cmd/ drivers accept to
+// designs.
+var designNames = map[string]Design{
+	"oblivious":           DesignOblivious,
+	"bliss":               DesignBLISS,
+	"rngaware":            DesignRNGAwareNoBuffer,
+	"greedy":              DesignGreedy,
+	"drstrange":           DesignDRStrange,
+	"drstrange-nopred":    DesignDRStrangeNoPred,
+	"drstrange-rl":        DesignDRStrangeRL,
+	"drstrange-nolowutil": DesignDRStrangeNoLowUtil,
+}
+
+// DesignByName resolves a flag-friendly design name (see DesignNames).
+func DesignByName(name string) (Design, bool) {
+	d, ok := designNames[name]
+	return d, ok
+}
+
+// DesignNames lists the accepted design names, sorted.
+func DesignNames() []string {
+	names := make([]string, 0, len(designNames))
+	for n := range designNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // buildConfig assembles the memory controller configuration for a

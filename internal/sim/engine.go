@@ -1,7 +1,7 @@
 package sim
 
-// The simulation engines. Run executes one simulation with one of two
-// inner loops over the same component models:
+// The simulation engines. System.StepTo advances a simulation with one
+// of two inner loops over the same component models:
 //
 //   - The event-driven engine (default) walks executed ticks only. After
 //     ticking every component at `now`, it asks each component for
@@ -28,22 +28,12 @@ package sim
 // every stat, every figure byte — which TestEngineDifferential*
 // enforces across designs, mechanisms, schedulers, and priorities.
 //
-// Knob matrix (environment, with matching flags on cmd/drstrange and
-// cmd/figures):
-//
-//	DRSTRANGE_ENGINE   event (default) | ticked — inner-loop selection,
-//	                   identical output either way
-//	DRSTRANGE_WORKERS  parallel simulations across runs (default
-//	                   GOMAXPROCS); output byte-identical at any count
-//	DRSTRANGE_INSTR    per-core instruction budget per run (default
-//	                   100000); sharpens statistics at proportional cost
+// The knob matrix (DRSTRANGE_ENGINE / DRSTRANGE_WORKERS /
+// DRSTRANGE_INSTR, with matching flags on the cmd/ drivers) is defined
+// and validated in env.go.
 
 import (
-	"os"
 	"sync"
-
-	"drstrange/internal/cpu"
-	"drstrange/internal/memctrl"
 )
 
 // Engine names accepted by SetEngine and DRSTRANGE_ENGINE.
@@ -57,15 +47,6 @@ const (
 var (
 	engineMu  sync.Mutex
 	engineSet string // SetEngine override; "" = unset
-
-	// envEngine caches the DRSTRANGE_ENGINE lookup: Engine() sits on
-	// the memo-key path, once per simulation request.
-	envEngine = sync.OnceValue(func() string {
-		if os.Getenv("DRSTRANGE_ENGINE") == EngineTicked {
-			return EngineTicked
-		}
-		return EngineEvent
-	})
 )
 
 // Engine reports which inner loop Run uses: the SetEngine override if
@@ -86,64 +67,4 @@ func SetEngine(name string) {
 	engineMu.Lock()
 	defer engineMu.Unlock()
 	engineSet = name
-}
-
-// runTicked is the reference inner loop: every component ticks at every
-// memory cycle. It returns the tick the last core finished at, or
-// maxTicks if the budget ran out.
-func runTicked(ctrl *memctrl.Controller, cores []*cpu.Core, maxTicks int64) int64 {
-	now := int64(0)
-	for ; now < maxTicks; now++ {
-		ctrl.Tick(now)
-		done := true
-		for _, c := range cores {
-			c.Tick(now)
-			if !c.Finished() {
-				done = false
-			}
-		}
-		if done {
-			break
-		}
-	}
-	return now
-}
-
-// runEvent is the event-driven inner loop: identical component ticking
-// in identical order, restricted to ticks at which some component can
-// change state, with the gaps batch-accounted. See the package comment
-// at the top of this file for the invariant that makes the two loops
-// bit-identical.
-func runEvent(ctrl *memctrl.Controller, cores []*cpu.Core, maxTicks int64) int64 {
-	now := int64(0)
-	for now < maxTicks {
-		ctrl.Tick(now)
-		done := true
-		for _, c := range cores {
-			c.Tick(now)
-			if !c.Finished() {
-				done = false
-			}
-		}
-		if done {
-			return now
-		}
-		next := ctrl.NextEventTick(now)
-		for _, c := range cores {
-			if t := c.NextEventTick(now); t < next {
-				next = t
-			}
-		}
-		if next > maxTicks {
-			next = maxTicks
-		}
-		if n := next - now - 1; n > 0 {
-			ctrl.AccountSkip(now, n)
-			for _, c := range cores {
-				c.AccountSkip(n)
-			}
-		}
-		now = next
-	}
-	return now
 }

@@ -1,0 +1,95 @@
+package sim
+
+// The DRSTRANGE_* environment knobs, defined and validated in one
+// place. Every driver and benchmark honors them; cmd/drstrange,
+// cmd/figures, and cmd/rngbench expose matching flags.
+//
+// Accepted values:
+//
+//	DRSTRANGE_INSTR    positive integer — per-core instruction budget of
+//	                   a measured run (default 100000). Larger budgets
+//	                   sharpen statistics at proportional cost.
+//	DRSTRANGE_WORKERS  positive integer — parallel-simulation worker
+//	                   pool size (default GOMAXPROCS). Output is
+//	                   byte-identical at any count.
+//	DRSTRANGE_ENGINE   "event" (default) or "ticked" — inner-loop
+//	                   selection; the two engines produce bit-identical
+//	                   results.
+//
+// A knob set to anything outside its accepted values is ignored with a
+// single warning on stderr (it used to fall back silently, which made
+// typos like DRSTRANGE_INSTR=1e6 indistinguishable from the default).
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+var (
+	envWarnMu   sync.Mutex
+	envWarned   = map[string]bool{}
+	envWarnDest = io.Writer(os.Stderr) // swapped out by the env tests
+)
+
+// envWarnOnce emits one warning per knob per process on stderr.
+func envWarnOnce(knob, msg string) {
+	envWarnMu.Lock()
+	defer envWarnMu.Unlock()
+	if envWarned[knob] {
+		return
+	}
+	envWarned[knob] = true
+	fmt.Fprintf(envWarnDest, "drstrange: %s\n", msg)
+}
+
+// envPositiveInt resolves an integer knob: unset returns (0, false);
+// a positive integer returns it; anything else warns once and returns
+// (0, false) so the caller applies its default.
+func envPositiveInt(knob string) (int64, bool) {
+	v := os.Getenv(knob)
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n <= 0 {
+		envWarnOnce(knob, fmt.Sprintf("ignoring %s=%q: want a positive integer", knob, v))
+		return 0, false
+	}
+	return n, true
+}
+
+// envInstr resolves DRSTRANGE_INSTR. Not cached: tests and long-lived
+// callers may legitimately change the budget between runs.
+func envInstr() int64 {
+	if n, ok := envPositiveInt("DRSTRANGE_INSTR"); ok {
+		return n
+	}
+	return 100_000
+}
+
+// envWorkers resolves DRSTRANGE_WORKERS; 0 means unset (the pool falls
+// back to GOMAXPROCS).
+func envWorkers() int {
+	if n, ok := envPositiveInt("DRSTRANGE_WORKERS"); ok {
+		return int(n)
+	}
+	return 0
+}
+
+// envEngine caches the DRSTRANGE_ENGINE lookup: Engine() sits on the
+// memo-key path, once per simulation request.
+var envEngine = sync.OnceValue(func() string {
+	switch v := os.Getenv("DRSTRANGE_ENGINE"); v {
+	case "", EngineEvent:
+		return EngineEvent
+	case EngineTicked:
+		return EngineTicked
+	default:
+		envWarnOnce("DRSTRANGE_ENGINE",
+			fmt.Sprintf("ignoring DRSTRANGE_ENGINE=%q: want %q or %q", v, EngineEvent, EngineTicked))
+		return EngineEvent
+	}
+})

@@ -85,17 +85,19 @@ func runKey(cfg RunConfig) string {
 	// identical results: the differential tests flip engines
 	// mid-process, and a cache hit across engines would make them
 	// vacuously pass.
-	fmt.Fprintf(&b, "d%d|%s|rng%g|m%s|b%d|i%d|s%d|p%v|t%s|e%s",
+	fmt.Fprintf(&b, "d%d|%s|rng%g|m%s|b%d|i%d|s%d|p%v|t%s|c%d|e%s",
 		cfg.Design, strings.Join(cfg.Mix.Apps, ","), cfg.Mix.RNGMbps,
 		cfg.Mech.Name, cfg.BufferWords, cfg.Instructions, cfg.Seed, cfg.Priorities, cfg.TweakID,
-		Engine())
+		cfg.Clients, Engine())
 	return b.String()
 }
 
 // memoRun executes (or recalls) a shared run. Runs with an idle-period
-// callback bypass the cache: the caller wants the side effects.
+// callback bypass the cache (the caller wants the side effects), as do
+// runs with injection clients (the outcome depends on the injection
+// schedule, which the key cannot capture).
 func memoRun(cfg RunConfig) RunResult {
-	if cfg.OnIdlePeriod != nil {
+	if cfg.OnIdlePeriod != nil || cfg.Clients > 0 {
 		return runGated(cfg)
 	}
 	return single(func() map[string]*inflight[RunResult] { return runMemo },

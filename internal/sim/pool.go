@@ -1,9 +1,7 @@
 package sim
 
 import (
-	"os"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -42,10 +40,8 @@ func workersLocked() int {
 	if workersSet > 0 {
 		return workersSet
 	}
-	if v := os.Getenv("DRSTRANGE_WORKERS"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
+	if n := envWorkers(); n > 0 {
+		return n
 	}
 	return runtime.GOMAXPROCS(0)
 }

@@ -2,10 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"os"
-	"strconv"
 
-	"drstrange/internal/cpu"
 	"drstrange/internal/energy"
 	"drstrange/internal/memctrl"
 	"drstrange/internal/metrics"
@@ -15,14 +12,10 @@ import (
 
 // DefaultInstructions is the per-core instruction budget of a measured
 // run. The environment variable DRSTRANGE_INSTR overrides it (larger
-// budgets sharpen the statistics at proportional simulation cost).
+// budgets sharpen the statistics at proportional simulation cost); see
+// env.go for the accepted values.
 func DefaultInstructions() int64 {
-	if v := os.Getenv("DRSTRANGE_INSTR"); v != "" {
-		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
-			return n
-		}
-	}
-	return 100_000
+	return envInstr()
 }
 
 // RunConfig describes one simulation.
@@ -46,6 +39,12 @@ type RunConfig struct {
 	OnIdlePeriod func(ch int, length int64)
 	// Seed perturbs the workload traces.
 	Seed uint64
+	// Clients reserves injection-port client slots on the built System
+	// (System.InjectRNG): externally generated RNG requests are
+	// attributed to controller core ids after the mix's cores. Runs
+	// with Clients > 0 are never memoized — their outcome depends on
+	// the injection schedule, which the memo key cannot capture.
+	Clients int
 	// Tweak optionally adjusts the controller configuration after the
 	// design's defaults are applied (ablation studies). TweakID must
 	// uniquely name the adjustment: it keys the run memoization.
@@ -94,74 +93,17 @@ func rngAppName(mbps float64) string { return fmt.Sprintf("rng-%dMbps", int(mbps
 
 // Run executes one simulation to completion: every core retires its
 // instruction budget (finished cores keep generating traffic, the
-// standard multiprogrammed methodology).
+// standard multiprogrammed methodology). It is a thin client of the
+// steppable System core: build once, step to completion, snapshot.
 func Run(cfg RunConfig) RunResult {
 	cfg.normalize()
-	mcfg := buildConfig(cfg.Design, cfg.Mix.Cores(), cfg.Mech, cfg.BufferWords, cfg.Priorities)
-	mcfg.OnIdlePeriod = cfg.OnIdlePeriod
-	if cfg.Tweak != nil {
-		cfg.Tweak(&mcfg)
-	}
-	ctrl, err := memctrl.NewController(mcfg)
-	if err != nil {
-		panic(fmt.Sprintf("sim: bad controller config: %v", err))
-	}
-
-	geom := mcfg.Geom
-	ccfg := cpu.DefaultConfig()
-	var cores []*cpu.Core
-	names := make([]string, 0, cfg.Mix.Cores())
-	for i, app := range cfg.Mix.Apps {
-		p := workload.MustByName(app)
-		tr := p.NewTrace(geom, 1000+i*4096, cfg.Seed+uint64(i)*7919)
-		cores = append(cores, cpu.NewCore(i, tr, ctrl, ccfg, cfg.Instructions))
-		names = append(names, app)
-	}
-	if cfg.Mix.RNGMbps > 0 {
-		rc := workload.DefaultRNGTraceConfig(cfg.Mix.RNGMbps)
-		rc.Seed ^= cfg.Seed
-		tr := workload.NewRNGTrace(rc, geom)
-		cores = append(cores, cpu.NewCore(len(cores), tr, ctrl, ccfg, cfg.Instructions))
-		names = append(names, rngAppName(cfg.Mix.RNGMbps))
-	}
-	if len(cores) == 0 {
-		panic("sim: empty mix")
-	}
-
+	sys := NewSystem(cfg)
 	maxTicks := cfg.Instructions * 2000
-	var now int64
-	if Engine() == EngineTicked {
-		now = runTicked(ctrl, cores, maxTicks)
-	} else {
-		now = runEvent(ctrl, cores, maxTicks)
-	}
-	if now >= maxTicks {
+	sys.StepTo(maxTicks - 1)
+	if !sys.Done() {
 		panic(fmt.Sprintf("sim: run exceeded %d ticks (design=%v mix=%s)", maxTicks, cfg.Design, cfg.Mix.Name))
 	}
-
-	res := RunResult{TotalTicks: now + 1, Ctrl: ctrl.Stats()}
-	for i, c := range cores {
-		st := c.Stats()
-		ticks := st.FinishTick + 1
-		ipc := 0.0
-		if ticks > 0 {
-			ipc = float64(st.Retired) / float64(ticks)
-		}
-		res.Apps = append(res.Apps, AppResult{
-			Name:         names[i],
-			IsRNG:        st.Rands > 0,
-			Ticks:        ticks,
-			Retired:      st.Retired,
-			IPC:          ipc,
-			MPKI:         st.MPKI(),
-			MCPI:         st.MCPI(),
-			RNGStallFrac: frac(st.StallRNGTicks, ticks),
-		})
-	}
-	res.Counts = energy.CountsFrom(ctrl.Device(), res.TotalTicks, res.Ctrl.RNGRounds)
-	res.Energy = energy.Compute(energy.DDR3Params(), mcfg.Timing, res.Counts)
-	res.MemBusyChannelTicks = res.Counts.ActiveTicks + res.Ctrl.TicksRNGMode
-	return res
+	return sys.Result()
 }
 
 func frac(num, den int64) float64 {

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"drstrange/internal/trng"
+	"drstrange/internal/workload"
+)
+
+// The open-loop serving layer: an offered-load sweep over the steppable
+// System core. Where the figure drivers replay closed-loop instruction
+// traces to completion, ServeLoad fixes the request arrival process —
+// N simulated clients submitting RNG requests through the injection
+// port at a configured aggregate rate — and measures what the paper's
+// designs deliver under that pressure: served throughput, the full
+// request-latency tail (p50/p95/p99/p999), and the buffer hit rate.
+// This is the open-loop generalization of Figure 2, and the scenario
+// family the paper never plots: tail latency of DR-STRaNGe's buffering
+// against on-demand generation under contention.
+
+// TickNanos converts memory-cycle latencies to wall-clock nanoseconds
+// (one memory cycle is 5 ns; see internal/trng).
+const TickNanos = 1e9 / trng.MemCyclesPerSecond
+
+// ServeConfig describes one open-loop serving experiment, shared by
+// every point of an offered-load sweep.
+type ServeConfig struct {
+	Design Design
+	// Mech is the TRNG mechanism; the zero value selects D-RaNGe.
+	Mech trng.Mechanism
+	// BufferWords sizes the random number buffer; <= 0 selects the
+	// design default.
+	BufferWords int
+	// Background is the contention workload sharing the memory system
+	// with the served requests (may be empty: a dedicated RNG system).
+	// Background cores run for the whole experiment; they are load, not
+	// measurement.
+	Background workload.Mix
+	// Clients is the number of simulated request clients; <= 0 selects
+	// 8. Clients matter for per-core bookkeeping (priorities, RNG-app
+	// marking and buffer partitioning), not for the arrival process,
+	// which is aggregate.
+	Clients int
+	// RequestBytes is the size of one RNG request; <= 0 selects 8 (one
+	// 64-bit word). Larger requests submit ceil(RequestBytes/8) words
+	// and complete when the last word does.
+	RequestBytes int
+	// Arrival names the arrival process (workload.ArrivalPoisson,
+	// ArrivalBursty, ArrivalDiurnal); "" selects Poisson.
+	Arrival string
+	// Burstiness shapes the bursty process (ignored by the others).
+	Burstiness float64
+	// WarmupTicks run before measurement (buffer fill, predictor
+	// training, queue steady state); < 0 selects 20000, and an explicit
+	// 0 measures from cold start (empty buffer, untrained predictor).
+	WarmupTicks int64
+	// WindowTicks is the measurement window length; <= 0 selects
+	// 100000 (0.5 ms of simulated time).
+	WindowTicks int64
+	Seed        uint64
+}
+
+func (c *ServeConfig) normalize() {
+	if c.Mech.Name == "" {
+		c.Mech = trng.DRaNGe()
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.RequestBytes <= 0 {
+		c.RequestBytes = 8
+	}
+	if c.Arrival == "" {
+		c.Arrival = workload.ArrivalPoisson
+	}
+	if c.WarmupTicks < 0 {
+		c.WarmupTicks = 20_000
+	}
+	if c.WindowTicks <= 0 {
+		c.WindowTicks = 100_000
+	}
+}
+
+// ServePoint is one measured offered-load point of a serving sweep.
+// Latencies are in memory cycles (multiply by TickNanos for ns) and
+// cover arrival to last-word completion — queueing, backpressure, and
+// generation all count, as a client would experience them.
+type ServePoint struct {
+	OfferedMbps float64
+	// AchievedMbps is the random-number throughput actually delivered
+	// during the measurement window. It tracks OfferedMbps until the
+	// system saturates.
+	AchievedMbps float64
+	// Submitted counts requests arriving inside the window; Completed
+	// counts how many of those finished before the drain horizon (they
+	// differ only if the drain cap cut off a saturated backlog).
+	Submitted int64
+	Completed int64
+	// BufferHitRate is the fraction of measured words served from the
+	// random number buffer.
+	BufferHitRate float64
+
+	MeanTicks float64
+	P50       float64
+	P95       float64
+	P99       float64
+	P999      float64
+}
+
+// ServeLoad sweeps the offered loads (aggregate Mb/s of requested
+// random bits) under one serving configuration. Points fan out across
+// the worker pool; each point is an independent, deterministically
+// seeded System, so results are byte-identical at any worker count and
+// under either engine.
+func ServeLoad(cfg ServeConfig, offeredMbps []float64) []ServePoint {
+	cfg.normalize()
+	out := make([]ServePoint, len(offeredMbps))
+	parDo(len(offeredMbps), func(i int) {
+		out[i] = servePoint(cfg, offeredMbps[i])
+	})
+	return out
+}
+
+// serveTarget is the per-core instruction budget of serving runs: large
+// enough that background cores never retire it (a System freezes once
+// every core finishes), small enough that maxTicks arithmetic stays far
+// from overflow.
+const serveTarget = int64(1) << 40
+
+func servePoint(cfg ServeConfig, mbps float64) ServePoint {
+	if mbps <= 0 {
+		panic("sim: offered load must be positive")
+	}
+	release := acquireSlot()
+	defer release()
+
+	words := (cfg.RequestBytes + 7) / 8
+	reqBits := float64(cfg.RequestBytes * 8)
+	// Offered Mb/s -> requests per memory cycle (one cycle is 5 ns).
+	ratePerTick := mbps * 1e6 / trng.MemCyclesPerSecond / reqBits
+
+	seed := cfg.Seed ^ math.Float64bits(mbps)
+	arr, err := workload.NewArrivals(cfg.Arrival, ratePerTick, cfg.Burstiness, seed)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+
+	sys := NewSystem(RunConfig{
+		Design:       cfg.Design,
+		Mix:          cfg.Background,
+		Mech:         cfg.Mech,
+		BufferWords:  cfg.BufferWords,
+		Instructions: serveTarget,
+		Seed:         cfg.Seed,
+		Clients:      cfg.Clients,
+	})
+
+	end := cfg.WarmupTicks + cfg.WindowTicks
+	var reqs []*InjectedRequest
+	for i := 0; ; i++ {
+		t := arr.NextArrival()
+		if t >= end {
+			break
+		}
+		reqs = append(reqs, sys.InjectRNG(i%cfg.Clients, t, words))
+	}
+
+	sys.StepTo(end - 1)
+	// Drain: an open-loop measurement must not censor slow requests,
+	// so step until every one completes. The horizon bounds a saturated
+	// backlog (arrivals stopped at end, so it always drains; 20 extra
+	// windows covers offered loads far beyond capacity).
+	horizon := end + 20*cfg.WindowTicks
+	for sys.Now() < horizon {
+		done := true
+		for _, r := range reqs {
+			if !r.Done {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		sys.StepTo(sys.Now() + 4095)
+	}
+
+	p := ServePoint{OfferedMbps: mbps}
+	var lats []float64
+	var sum float64
+	var bufWords, doneWords int
+	var achievedBits float64
+	for _, r := range reqs {
+		if r.Done && r.FinishTick >= cfg.WarmupTicks && r.FinishTick < end {
+			achievedBits += reqBits
+		}
+		if r.SubmitTick < cfg.WarmupTicks {
+			continue // warmup request: load, not measurement
+		}
+		p.Submitted++
+		if !r.Done {
+			continue
+		}
+		p.Completed++
+		l := float64(r.Latency())
+		lats = append(lats, l)
+		sum += l
+		bufWords += r.BufferWords
+		doneWords += r.Words
+	}
+	p.AchievedMbps = achievedBits / float64(cfg.WindowTicks) * trng.MemCyclesPerSecond / 1e6
+	if doneWords > 0 {
+		p.BufferHitRate = float64(bufWords) / float64(doneWords)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		p.MeanTicks = sum / float64(len(lats))
+		p.P50 = percentile(lats, 0.50)
+		p.P95 = percentile(lats, 0.95)
+		p.P99 = percentile(lats, 0.99)
+		p.P999 = percentile(lats, 0.999)
+	}
+	return p
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank method).
+func percentile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ServeCurves runs the offered-load sweep for each design and renders
+// one Figure per design: rows are offered loads, columns the serving
+// metrics (latencies in ns). This is what cmd/rngbench prints and what
+// BenchmarkServeLoad tracks.
+func ServeCurves(designs []Design, cfg ServeConfig, offeredMbps []float64) []Figure {
+	cfg.normalize()
+	figs := make([]Figure, len(designs))
+	parDo(len(designs), func(i int) {
+		d := designs[i]
+		c := cfg
+		c.Design = d
+		points := ServeLoad(c, offeredMbps)
+		f := Figure{
+			ID: fmt.Sprintf("ServeLoad-%s", d),
+			Title: fmt.Sprintf("%s serving %s %dB requests (%s, %d clients, bg=%s)",
+				d, cfg.Mech.Name, cfg.RequestBytes, cfg.Arrival, cfg.Clients, bgName(cfg.Background)),
+			// "served" is Completed/Submitted: below 1.0 the drain
+			// horizon censored the slowest requests, so the latency
+			// percentiles on that row are optimistic.
+			Labels: []string{"offered", "achieved", "p50ns", "p95ns", "p99ns", "p999ns", "bufhit", "served"},
+		}
+		for _, pt := range points {
+			servedFrac := 0.0
+			if pt.Submitted > 0 {
+				servedFrac = float64(pt.Completed) / float64(pt.Submitted)
+			}
+			f.Series = append(f.Series, Series{
+				Name: fmt.Sprintf("%gMb/s", pt.OfferedMbps),
+				Values: []float64{
+					pt.OfferedMbps,
+					pt.AchievedMbps,
+					pt.P50 * TickNanos,
+					pt.P95 * TickNanos,
+					pt.P99 * TickNanos,
+					pt.P999 * TickNanos,
+					pt.BufferHitRate,
+					servedFrac,
+				},
+			})
+		}
+		figs[i] = f
+	})
+	return figs
+}
+
+func bgName(m workload.Mix) string {
+	if len(m.Apps) == 0 && m.RNGMbps <= 0 {
+		return "none"
+	}
+	if m.Name != "" {
+		return m.Name
+	}
+	return fmt.Sprintf("%d apps", len(m.Apps))
+}

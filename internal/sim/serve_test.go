@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"drstrange/internal/workload"
+)
+
+// serveTestConfig keeps the open-loop tests fast: short warmup and
+// window, Poisson arrivals, one-word requests.
+func serveTestConfig(d Design) ServeConfig {
+	return ServeConfig{
+		Design:      d,
+		WarmupTicks: 8_000,
+		WindowTicks: 30_000,
+		Seed:        7,
+	}
+}
+
+// TestServeLoadDeterministicAcrossWorkers is the injected-request
+// determinism gate: the full sweep — every completion timestamp
+// aggregated into every percentile — must be byte-identical at any
+// worker count, like the figure drivers.
+func TestServeLoadDeterministicAcrossWorkers(t *testing.T) {
+	loads := []float64{320, 1280, 2560}
+	cfg := serveTestConfig(DesignDRStrange)
+	defer SetWorkers(0)
+	SetWorkers(1)
+	seq := ServeLoad(cfg, loads)
+	seqFigs := RenderAll(ServeCurves([]Design{DesignOblivious, DesignDRStrange}, cfg, loads))
+	SetWorkers(4)
+	par := ServeLoad(cfg, loads)
+	parFigs := RenderAll(ServeCurves([]Design{DesignOblivious, DesignDRStrange}, cfg, loads))
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("ServeLoad differs across worker counts\n 1: %+v\n 4: %+v", seq, par)
+	}
+	if seqFigs != parFigs {
+		t.Errorf("ServeCurves output differs across worker counts\n--- 1 ---\n%s\n--- 4 ---\n%s", seqFigs, parFigs)
+	}
+}
+
+// TestServeLoadEngineDifferential requires the open-loop layer to obey
+// the engine contract end to end: identical sweep results from the
+// event and ticked engines.
+func TestServeLoadEngineDifferential(t *testing.T) {
+	loads := []float64{640, 2560}
+	cfg := serveTestConfig(DesignDRStrange)
+	var ticked, event []ServePoint
+	underEngine(EngineTicked, func() { ticked = ServeLoad(cfg, loads) })
+	underEngine(EngineEvent, func() { event = ServeLoad(cfg, loads) })
+	if !reflect.DeepEqual(ticked, event) {
+		t.Errorf("ServeLoad diverges between engines\n ticked: %+v\n event:  %+v", ticked, event)
+	}
+}
+
+// TestServeLoadCurveShape pins the acceptance criteria of the open-loop
+// scenario: p99 request latency grows monotonically with offered load,
+// and DR-STRaNGe's buffering beats the RNG-oblivious baseline at low-
+// to-mid load (where the buffer absorbs requests at SRAM latency) while
+// both saturate near the mechanism's aggregate throughput.
+func TestServeLoadCurveShape(t *testing.T) {
+	loads := []float64{320, 640, 1280, 2560}
+	obl := ServeLoad(serveTestConfig(DesignOblivious), loads)
+	drs := ServeLoad(serveTestConfig(DesignDRStrange), loads)
+	// Monotonicity allows a small pre-queueing slack: under the
+	// oblivious design a busier RNG queue can shave a few enter-latency
+	// ticks off low-load requests (arrivals find channels already in
+	// RNG mode), before queueing growth dominates everything.
+	const slack = 15.0
+	for name, pts := range map[string][]ServePoint{"oblivious": obl, "drstrange": drs} {
+		for i, pt := range pts {
+			if pt.Completed == 0 || pt.Completed != pt.Submitted {
+				t.Fatalf("%s @%gMb/s: %d/%d requests completed", name, pt.OfferedMbps, pt.Completed, pt.Submitted)
+			}
+			if i > 0 && pt.P99 < pts[i-1].P99-slack {
+				t.Errorf("%s: p99 not monotone in load: %g ticks @%gMb/s after %g ticks @%gMb/s",
+					name, pt.P99, pt.OfferedMbps, pts[i-1].P99, pts[i-1].OfferedMbps)
+			}
+		}
+		if last, first := pts[len(pts)-1].P99, pts[0].P99; last <= first {
+			t.Errorf("%s: p99 did not grow across the sweep (%g -> %g ticks)", name, first, last)
+		}
+	}
+	// Low-to-mid load: buffering should serve most requests at SRAM
+	// latency, far below on-demand generation.
+	for i := range loads[:3] {
+		if drs[i].P99 >= obl[i].P99 {
+			t.Errorf("@%gMb/s: DR-STRaNGe p99 %g >= oblivious %g", loads[i], drs[i].P99, obl[i].P99)
+		}
+	}
+	if drs[0].BufferHitRate < 0.9 {
+		t.Errorf("low-load buffer hit rate %.2f, want >= 0.9", drs[0].BufferHitRate)
+	}
+	if obl[len(obl)-1].BufferHitRate != 0 {
+		t.Errorf("oblivious design reported buffer hits")
+	}
+}
+
+// TestServeLoadContention exercises serving alongside a memory-
+// intensive background application: the sweep must still complete and
+// the contended tail must not be lighter than the dedicated one.
+func TestServeLoadContention(t *testing.T) {
+	cfg := serveTestConfig(DesignDRStrange)
+	dedicated := ServeLoad(cfg, []float64{1280})[0]
+	cfg.Background = workload.Mix{Name: "mcf", Apps: []string{"mcf"}}
+	contended := ServeLoad(cfg, []float64{1280})[0]
+	if contended.Completed == 0 {
+		t.Fatal("no requests completed under contention")
+	}
+	if contended.P99 < dedicated.P99 {
+		t.Errorf("contended p99 %g < dedicated p99 %g", contended.P99, dedicated.P99)
+	}
+}
+
+// TestServeLoadArrivalProcesses smoke-runs every arrival process
+// through the serving layer at one load point.
+func TestServeLoadArrivalProcesses(t *testing.T) {
+	for _, arrival := range workload.ArrivalNames() {
+		cfg := serveTestConfig(DesignDRStrange)
+		cfg.Arrival = arrival
+		cfg.Burstiness = 0.3
+		pt := ServeLoad(cfg, []float64{640})[0]
+		if pt.Completed == 0 || pt.Completed != pt.Submitted {
+			t.Errorf("%s: %d/%d requests completed", arrival, pt.Completed, pt.Submitted)
+		}
+		if pt.P99 <= 0 {
+			t.Errorf("%s: p99 = %g", arrival, pt.P99)
+		}
+	}
+}

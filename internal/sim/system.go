@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+
+	"drstrange/internal/cpu"
+	"drstrange/internal/energy"
+	"drstrange/internal/memctrl"
+	"drstrange/internal/workload"
+)
+
+// System is one fully constructed simulated system — cores driving the
+// memory controller over the DRAM device with a TRNG mechanism — whose
+// clock the caller advances explicitly. It is the steppable core every
+// driver builds on: Run steps a System to completion, the figure
+// drivers go through Run, and the open-loop serving layer (ServeLoad,
+// cmd/rngbench) steps a System while injecting externally generated RNG
+// requests through the injection port.
+//
+// Time advances only through Step/StepTo, using the engine selected at
+// construction (Engine()): the event-driven engine skips ticks no
+// component can act on, the ticked engine walks every cycle. Both
+// produce bit-identical results, and results are independent of how the
+// advancement is sliced into StepTo calls (TestSystemStepToSegments):
+// a skipped tick and an executed quiescent tick are equivalent by the
+// engine invariant documented in engine.go.
+//
+// A System steps one simulated clock and is not safe for concurrent
+// use. Use one instance per goroutine; the experiment engine (pool.go)
+// fans out across independent Systems.
+type System struct {
+	cfg    RunConfig
+	mcfg   memctrl.Config
+	ctrl   *memctrl.Controller
+	cores  []*cpu.Core
+	names  []string
+	engine string
+
+	now      int64 // next tick to execute
+	done     bool  // every measured core reached its instruction target
+	doneTick int64 // tick the last core finished (valid once done)
+
+	// Injection port state. clientBase is the controller core id of
+	// client 0 (clients occupy the core-id range after the simulated
+	// cores, so the controller's per-core bookkeeping — RNG-app marking,
+	// priorities — covers them).
+	clientBase  int
+	sched       []*InjectedRequest // scheduled arrivals, ascending SubmitTick
+	schedHead   int
+	waiting     []*InjectedRequest // arrived, not yet fully submitted (FIFO)
+	waitHead    int
+	outstanding []injWord // submitted words in flight
+}
+
+// InjectedRequest is one externally submitted RNG request flowing
+// through the System's injection port: Words 64-bit words requested by
+// one client at SubmitTick. The System fills in the completion fields
+// as its clock advances past the relevant events.
+type InjectedRequest struct {
+	Client int
+	Words  int
+	// SubmitTick is the tick the request arrives at the controller's
+	// front end (the open-loop arrival time; queueing delay counts
+	// against the request from here).
+	SubmitTick int64
+	// AcceptTick is the tick the last word entered the controller's RNG
+	// queue (later than SubmitTick under queue-full backpressure).
+	AcceptTick int64
+	// FinishTick is the tick the last word completed (valid once Done).
+	FinishTick int64
+	// BufferWords counts words served from the random number buffer
+	// rather than by on-demand generation.
+	BufferWords int
+	Done        bool
+
+	wordsSubmitted int
+	wordsDone      int
+}
+
+// Latency returns the request's completion latency in memory cycles
+// (valid once Done).
+func (r *InjectedRequest) Latency() int64 { return r.FinishTick - r.SubmitTick }
+
+// injWord tracks one in-flight 64-bit word of an injected request.
+type injWord struct {
+	req *memctrl.Request
+	ir  *InjectedRequest
+}
+
+// NewSystem builds the simulated system cfg describes without running
+// it: the memory controller and DRAM device for the design, one core
+// per application in the mix (plus the synthetic RNG benchmark core if
+// the mix requests one), and cfg.Clients injection-port client slots.
+// The engine (event or ticked) is captured at construction.
+func NewSystem(cfg RunConfig) *System {
+	cfg.normalize()
+	nCores := cfg.Mix.Cores()
+	prio := cfg.Priorities
+	if prio != nil && cfg.Clients > 0 && len(prio) < nCores+cfg.Clients {
+		// Clients occupy core ids beyond the mix; pad their priorities
+		// with zeros so explicit mix priorities keep their meaning.
+		padded := make([]int, nCores+cfg.Clients)
+		copy(padded, prio)
+		prio = padded
+	}
+	mcfg := buildConfig(cfg.Design, nCores+cfg.Clients, cfg.Mech, cfg.BufferWords, prio)
+	mcfg.OnIdlePeriod = cfg.OnIdlePeriod
+	if cfg.Tweak != nil {
+		cfg.Tweak(&mcfg)
+	}
+	ctrl, err := memctrl.NewController(mcfg)
+	if err != nil {
+		panic(fmt.Sprintf("sim: bad controller config: %v", err))
+	}
+
+	s := &System{
+		cfg:        cfg,
+		mcfg:       mcfg,
+		ctrl:       ctrl,
+		engine:     Engine(),
+		clientBase: nCores,
+	}
+	geom := mcfg.Geom
+	ccfg := cpu.DefaultConfig()
+	for i, app := range cfg.Mix.Apps {
+		p := workload.MustByName(app)
+		tr := p.NewTrace(geom, 1000+i*4096, cfg.Seed+uint64(i)*7919)
+		s.cores = append(s.cores, cpu.NewCore(i, tr, ctrl, ccfg, cfg.Instructions))
+		s.names = append(s.names, app)
+	}
+	if cfg.Mix.RNGMbps > 0 {
+		rc := workload.DefaultRNGTraceConfig(cfg.Mix.RNGMbps)
+		rc.Seed ^= cfg.Seed
+		tr := workload.NewRNGTrace(rc, geom)
+		s.cores = append(s.cores, cpu.NewCore(len(s.cores), tr, ctrl, ccfg, cfg.Instructions))
+		s.names = append(s.names, rngAppName(cfg.Mix.RNGMbps))
+	}
+	if len(s.cores) == 0 && cfg.Clients == 0 {
+		panic("sim: empty mix")
+	}
+	return s
+}
+
+// Now returns the next tick the System will execute. Ticks 0..Now()-1
+// are fully accounted.
+func (s *System) Now() int64 { return s.now }
+
+// Done reports whether every measured core has retired its instruction
+// budget. A done System is frozen: further Step/StepTo calls are
+// no-ops, so Result() is stable. Systems without cores (pure serving
+// front ends) never report done.
+func (s *System) Done() bool { return s.done }
+
+// Controller exposes the memory controller (stats, queue inspection).
+func (s *System) Controller() *memctrl.Controller { return s.ctrl }
+
+// Step executes exactly one tick.
+func (s *System) Step() { s.StepTo(s.now) }
+
+// StepTo advances the System until every tick through cycle is
+// accounted — executed, or (event engine) batch-credited as provably
+// quiescent — stopping early if the run completes. The slicing of a
+// run into StepTo calls never changes the outcome: boundaries clamp
+// the event engine's skips, and executing a tick the engine could have
+// skipped is a no-op by the engine invariant (engine.go).
+func (s *System) StepTo(cycle int64) {
+	if s.done {
+		return
+	}
+	if s.engine == EngineTicked {
+		for s.now <= cycle {
+			if s.execTick(s.now) {
+				return
+			}
+			s.now++
+		}
+		return
+	}
+	for s.now <= cycle {
+		now := s.now
+		if s.execTick(now) {
+			return
+		}
+		next := s.nextEventTick(now)
+		if next > cycle+1 {
+			next = cycle + 1
+		}
+		if n := next - now - 1; n > 0 {
+			s.ctrl.AccountSkip(now, n)
+			for _, c := range s.cores {
+				c.AccountSkip(n)
+			}
+		}
+		s.now = next
+	}
+}
+
+// execTick runs every component through tick t — injection-port
+// submissions, the controller, the cores, injected-request completion
+// collection — and reports whether the run completed at t.
+func (s *System) execTick(t int64) bool {
+	if s.schedHead < len(s.sched) || s.waitHead < len(s.waiting) {
+		s.admitInjections(t)
+	}
+	s.ctrl.Tick(t)
+	done := len(s.cores) > 0
+	for _, c := range s.cores {
+		c.Tick(t)
+		if !c.Finished() {
+			done = false
+		}
+	}
+	if len(s.outstanding) > 0 {
+		s.collectInjections()
+	}
+	if done {
+		s.done = true
+		s.doneTick = t
+	}
+	return done
+}
+
+// nextEventTick lower-bounds the next tick at which any component —
+// controller, core, or the injection port — can change state.
+func (s *System) nextEventTick(now int64) int64 {
+	next := s.ctrl.NextEventTick(now)
+	for _, c := range s.cores {
+		if t := c.NextEventTick(now); t < next {
+			next = t
+		}
+	}
+	if s.waitHead < len(s.waiting) {
+		// A submission blocked on RNG-queue backpressure retries every
+		// tick: queue space frees inside controller ticks.
+		return now + 1
+	}
+	if s.schedHead < len(s.sched) {
+		if t := s.sched[s.schedHead].SubmitTick; t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// InjectRNG schedules an RNG request of words 64-bit words from client
+// (0 <= client < cfg.Clients) arriving at tick at. Arrivals must be
+// scheduled in non-decreasing time order, at or after the current
+// tick. The returned handle's completion fields fill in as the System
+// steps past the corresponding events.
+func (s *System) InjectRNG(client int, at int64, words int) *InjectedRequest {
+	if client < 0 || client >= s.cfg.Clients {
+		panic(fmt.Sprintf("sim: client %d out of range (Clients=%d)", client, s.cfg.Clients))
+	}
+	if words <= 0 {
+		panic("sim: injected request needs at least one word")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: cannot inject at past tick %d (now %d)", at, s.now))
+	}
+	if n := len(s.sched); n > 0 && at < s.sched[n-1].SubmitTick {
+		panic("sim: injections must be scheduled in non-decreasing time order")
+	}
+	ir := &InjectedRequest{Client: client, Words: words, SubmitTick: at}
+	s.sched = append(s.sched, ir)
+	return ir
+}
+
+// admitInjections moves arrivals due at tick t into the submission FIFO
+// and submits as many queued words as the controller accepts, in
+// arrival order (head-of-line blocking on RNG-queue backpressure, like
+// a real request front end).
+func (s *System) admitInjections(t int64) {
+	for s.schedHead < len(s.sched) && s.sched[s.schedHead].SubmitTick <= t {
+		s.waiting = append(s.waiting, s.sched[s.schedHead])
+		s.sched[s.schedHead] = nil
+		s.schedHead++
+	}
+	if s.schedHead == len(s.sched) {
+		s.sched, s.schedHead = s.sched[:0], 0
+	}
+	for s.waitHead < len(s.waiting) {
+		ir := s.waiting[s.waitHead]
+		for ir.wordsSubmitted < ir.Words {
+			req, ok := s.ctrl.SubmitRNG(s.clientBase+ir.Client, t)
+			if !ok {
+				// RNG queue full: retry next tick. Under sustained
+				// backpressure arrivals keep appending while the head
+				// barely moves, so reclaim the dead prefix mid-stream
+				// (the memctrl completion FIFOs bound growth the same
+				// way).
+				if s.waitHead > 64 && s.waitHead >= len(s.waiting)/2 {
+					n := copy(s.waiting, s.waiting[s.waitHead:])
+					clear(s.waiting[n:])
+					s.waiting = s.waiting[:n]
+					s.waitHead = 0
+				}
+				return
+			}
+			ir.wordsSubmitted++
+			if req.FromBuffer {
+				ir.BufferWords++
+			}
+			s.outstanding = append(s.outstanding, injWord{req: req, ir: ir})
+		}
+		ir.AcceptTick = t
+		s.waiting[s.waitHead] = nil
+		s.waitHead++
+	}
+	s.waiting, s.waitHead = s.waiting[:0], 0
+}
+
+// collectInjections retires completed injected words, recording each
+// request's completion tick when its last word finishes. The word's
+// controller request is recycled here — the injection port holds the
+// system's last reference, exactly as a core's instruction window does.
+func (s *System) collectInjections() {
+	live := s.outstanding[:0]
+	for _, w := range s.outstanding {
+		if !w.req.Done {
+			live = append(live, w)
+			continue
+		}
+		ir := w.ir
+		ir.wordsDone++
+		if w.req.Finish > ir.FinishTick {
+			ir.FinishTick = w.req.Finish
+		}
+		if ir.wordsDone == ir.Words {
+			ir.Done = true
+		}
+		s.ctrl.Recycle(w.req)
+	}
+	for i := len(live); i < len(s.outstanding); i++ {
+		s.outstanding[i] = injWord{}
+	}
+	s.outstanding = live
+}
+
+// Result snapshots the run's measurements: per-app outcomes, controller
+// stats, and the energy model over the elapsed ticks. For a completed
+// run this is exactly Run's RunResult; for a still-running System it
+// covers the ticks accounted so far.
+func (s *System) Result() RunResult {
+	elapsed := s.now
+	if s.done {
+		elapsed = s.doneTick + 1
+	}
+	res := RunResult{TotalTicks: elapsed, Ctrl: s.ctrl.Stats()}
+	for i, c := range s.cores {
+		st := c.Stats()
+		ticks := st.FinishTick + 1
+		ipc := 0.0
+		if ticks > 0 {
+			ipc = float64(st.Retired) / float64(ticks)
+		}
+		res.Apps = append(res.Apps, AppResult{
+			Name:         s.names[i],
+			IsRNG:        st.Rands > 0,
+			Ticks:        ticks,
+			Retired:      st.Retired,
+			IPC:          ipc,
+			MPKI:         st.MPKI(),
+			MCPI:         st.MCPI(),
+			RNGStallFrac: frac(st.StallRNGTicks, ticks),
+		})
+	}
+	res.Counts = energy.CountsFrom(s.ctrl.Device(), res.TotalTicks, res.Ctrl.RNGRounds)
+	res.Energy = energy.Compute(energy.DDR3Params(), s.mcfg.Timing, res.Counts)
+	res.MemBusyChannelTicks = res.Counts.ActiveTicks + res.Ctrl.TicksRNGMode
+	return res
+}

@@ -87,6 +87,21 @@ func QUACTRNG() Mechanism {
 	}
 }
 
+// ByName resolves the flag-friendly mechanism names the cmd/ drivers
+// accept (see MechanismNames).
+func ByName(name string) (Mechanism, bool) {
+	switch name {
+	case "drange":
+		return DRaNGe(), true
+	case "quac":
+		return QUACTRNG(), true
+	}
+	return Mechanism{}, false
+}
+
+// MechanismNames lists the accepted mechanism names, sorted.
+func MechanismNames() []string { return []string{"drange", "quac"} }
+
 // Parametric returns a mechanism with D-RaNGe's latency profile whose
 // aggregate streaming throughput across channels channels equals
 // totalMbps. This reproduces the paper's Figure 2 sweep (200 Mb/s to

@@ -150,6 +150,17 @@ func FigureApps() []string {
 	return out
 }
 
+// ProfileNames returns every profile name, sorted — the cmd/ drivers
+// print it when an unknown application is requested.
+func ProfileNames() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ByName looks up a profile.
 func ByName(name string) (Profile, bool) {
 	for _, p := range profiles {
