@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench-smoke bench-json figures examples-smoke ci
+.PHONY: all build test race fmt vet bench-smoke bench-json figures examples-smoke scenario-smoke ci
 
 all: build
 
@@ -58,6 +58,29 @@ examples-smoke:
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/idleness
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/keygen
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/openloop
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/scenario
 	$(GO) run ./cmd/rngbench -loads 320,1280 -warmup 5000 -window 20000
 
-ci: fmt vet build test race bench-smoke examples-smoke
+# The canned scenarios/ files for all three kinds run through both
+# CLIs (any CLI runs any kind via -scenario), and the figure scenario's
+# output is diffed against the flag-driven cmd/figures equivalent —
+# the byte-identity gate of the public API's figure path. diff -B
+# tolerates only the blank line left where the figures timing line was
+# filtered out.
+scenario-smoke:
+	$(GO) run ./cmd/drstrange -scenario scenarios/run-soplex.json
+	$(GO) run ./cmd/rngbench -scenario scenarios/serve-sweep.json
+	$(GO) run ./cmd/rngbench -scenario scenarios/run-soplex.json > /dev/null
+	$(GO) run ./cmd/drstrange -scenario scenarios/serve-sweep.json > /dev/null
+	$(GO) run ./cmd/rngbench -scenario scenarios/fig10.json > /dev/null
+	$(GO) run ./cmd/drstrange -scenario scenarios/run-soplex.json -json > /dev/null
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/drstrange -scenario scenarios/fig10.json > $$tmp/scenario.txt; \
+	$(GO) run ./cmd/figures -fig fig10 -instr 1200 | grep -v '^-- ' > $$tmp/flags.txt; \
+	if ! diff -B -u $$tmp/flags.txt $$tmp/scenario.txt; then \
+		echo "scenario-driven figure output differs from the flag-driven equivalent"; \
+		rm -rf $$tmp; exit 1; \
+	fi; \
+	rm -rf $$tmp; echo "scenario-smoke OK: figure output byte-identical across paths"
+
+ci: fmt vet build test race bench-smoke examples-smoke scenario-smoke

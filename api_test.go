@@ -1,0 +1,209 @@
+package drstrange
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"drstrange/internal/sim"
+)
+
+// TestFigureScenarioByteIdenticalBothEngines is the tentpole's
+// acceptance gate: figure output through the public path —
+// Run(ctx, Scenario{Kind: figure, ...}) — must be byte-identical to
+// the internal sim drivers' rendered output, under both simulation
+// engines.
+func TestFigureScenarioByteIdenticalBothEngines(t *testing.T) {
+	const instr = 1200
+	ctx := context.Background()
+	for _, engine := range []string{sim.EngineEvent, sim.EngineTicked} {
+		for _, id := range []string{"fig10", "table1"} {
+			sim.SetEngine(engine)
+			legacy := sim.RenderAll(sim.Experiments[id](ctx, instr))
+			sim.SetEngine("")
+
+			rep, err := Run(ctx, NewScenario(KindFigure,
+				WithFigure(id), WithInstructions(instr), WithEngine(engine)))
+			if err != nil {
+				t.Fatalf("%s/%s: Run: %v", engine, id, err)
+			}
+			if got := rep.Render(); got != legacy {
+				t.Errorf("%s/%s: scenario output differs from the sim driver\n--- driver ---\n%s\n--- scenario ---\n%s",
+					engine, id, legacy, got)
+			}
+		}
+	}
+	if sim.EngineOverride() != "" {
+		t.Errorf("Run leaked an engine override: %q", sim.EngineOverride())
+	}
+}
+
+// TestRunScenarioMatchesEvaluate checks the run kind end to end: the
+// report's metrics equal a direct Evaluate of the lowered config, and
+// the rendered text carries the classic CLI shape.
+func TestRunScenarioMatchesEvaluate(t *testing.T) {
+	sc := NewScenario(KindRun,
+		WithDesign("drstrange"), WithApps("soplex"), WithRNGMbps(5120),
+		WithInstructions(4000))
+	rep, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Run == nil {
+		t.Fatal("run report carries no metrics")
+	}
+	want := sim.Evaluate(sc.runConfig())
+	if rep.Run.NonRNGSlowdown != want.NonRNGSlowdown ||
+		rep.Run.RNGSlowdown != want.RNGSlowdown ||
+		rep.Run.Unfairness != want.Unfairness ||
+		rep.Run.EnergyJ != want.EnergyJ {
+		t.Errorf("report metrics diverge from Evaluate:\n report:   %+v\n evaluate: %+v", rep.Run, want)
+	}
+	text := rep.Render()
+	for _, sub := range []string{
+		"design: DR-STRaNGe   mechanism: D-RaNGe   mix: soplex",
+		"non-RNG slowdown",
+		"controller: reads=",
+	} {
+		if !strings.Contains(text, sub) {
+			t.Errorf("rendered run report lacks %q:\n%s", sub, text)
+		}
+	}
+}
+
+// TestServeScenarioMatchesServeCurves: the serve kind must produce the
+// same figures ServeCurves always has, in design order, plus the units
+// footer in the rendered text.
+func TestServeScenarioMatchesServeCurves(t *testing.T) {
+	sc := NewScenario(KindServe,
+		WithDesigns("oblivious", "drstrange"),
+		WithLoads(320, 1280),
+		WithWarmupTicks(2000), WithWindowTicks(10000))
+	rep, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg, designs := sc.serveConfig()
+	legacy := sim.ServeCurves(designs, cfg, sc.Normalized().Loads)
+	if len(rep.Figures) != len(legacy) {
+		t.Fatalf("figures = %d, want %d", len(rep.Figures), len(legacy))
+	}
+	for i := range legacy {
+		got := rep.Figures[i].toSim()
+		if got.Render() != legacy[i].Render() {
+			t.Errorf("serve figure %d differs from ServeCurves", i)
+		}
+	}
+	if !strings.HasSuffix(rep.Render(), "achieved/offered in Mb/s of served random bits\n") {
+		t.Errorf("serve report lacks the units footer:\n%s", rep.Render())
+	}
+}
+
+// TestRunCancelledServeScenarioAborts is the public half of the abort
+// acceptance criterion: cancelling the context handed to Run aborts a
+// serve sweep early and surfaces ctx.Err().
+func TestRunCancelledServeScenarioAborts(t *testing.T) {
+	sc := NewScenario(KindServe,
+		WithDesigns("oblivious", "drstrange"),
+		WithLoads(160, 320, 640, 1280, 2560, 3840),
+		WithWarmupTicks(0), WithWindowTicks(200_000_000)) // far beyond any test budget
+	ctx, cancel := context.WithCancel(context.Background())
+
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := Run(ctx, sc)
+		done <- outcome{rep, err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case got := <-done:
+		if got.err != context.Canceled {
+			t.Fatalf("Run error = %v, want context.Canceled", got.err)
+		}
+		if got.rep != nil {
+			t.Fatal("cancelled Run returned a partial report")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled serve scenario did not abort within 30s")
+	}
+}
+
+// TestStreamDeliversProgressAndReport: the streaming form must emit a
+// closing progress channel and an idempotent wait.
+func TestStreamDeliversProgressAndReport(t *testing.T) {
+	sc := NewScenario(KindServe,
+		WithDesigns("drstrange"),
+		WithLoads(640),
+		WithWarmupTicks(1000), WithWindowTicks(5000))
+	ch, wait := Stream(context.Background(), sc)
+	var events []Progress
+	for p := range ch {
+		events = append(events, p)
+	}
+	rep, err := wait()
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if rep == nil || len(rep.Figures) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	last := events[len(events)-1]
+	if last.Stage != "done" {
+		t.Errorf("last progress stage %q, want done", last.Stage)
+	}
+	// wait is idempotent.
+	rep2, err2 := wait()
+	if rep2 != rep || err2 != nil {
+		t.Errorf("second wait() returned (%p, %v), want (%p, nil)", rep2, err2, rep)
+	}
+}
+
+// TestStreamInvalidScenarioSurfacesError: validation failures arrive
+// through wait, and the channel still closes.
+func TestStreamInvalidScenarioSurfacesError(t *testing.T) {
+	ch, wait := Stream(context.Background(), NewScenario(KindFigure, WithFigure("fig99")))
+	for range ch {
+	}
+	if _, err := wait(); err == nil || !strings.Contains(err.Error(), `unknown experiment "fig99"`) {
+		t.Fatalf("wait error = %v, want unknown experiment", err)
+	}
+}
+
+// TestReportJSONRoundTrips: the serialized report re-parses and keeps
+// the figure payload — the one-format contract downstream tooling
+// relies on.
+func TestReportJSONRoundTrips(t *testing.T) {
+	rep, err := Run(context.Background(), NewScenario(KindFigure,
+		WithFigure("table1"), WithInstructions(1000)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Scenario.Kind != KindFigure || back.Scenario.Figure != "table1" {
+		t.Errorf("scenario did not round-trip: %+v", back.Scenario)
+	}
+	if len(back.Figures) != len(rep.Figures) || len(back.Figures) == 0 {
+		t.Fatalf("figures did not round-trip: %d vs %d", len(back.Figures), len(rep.Figures))
+	}
+	if back.Figures[0].ID != rep.Figures[0].ID || len(back.Figures[0].Series) != len(rep.Figures[0].Series) {
+		t.Errorf("figure payload did not round-trip")
+	}
+}

@@ -13,6 +13,7 @@ package drstrange_test
 // GOMAXPROCS); figure output is byte-identical at any worker count.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -34,7 +35,7 @@ func runExperiment(b *testing.B, id string) {
 	instr := sim.DefaultInstructions()
 	var figs []sim.Figure
 	for i := 0; i < b.N; i++ {
-		figs = driver(instr)
+		figs = driver(context.Background(), instr)
 	}
 	if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
 		fmt.Print(sim.RenderAll(figs))

@@ -1,41 +1,37 @@
-// Command drstrange runs one configurable simulation of the DR-STRaNGe
-// system and reports per-application and controller statistics.
+// Command drstrange runs one experiment scenario of the DR-STRaNGe
+// system. The flags build a closed-loop "run" scenario (per-app and
+// controller statistics for one design/mix); -scenario runs any JSON
+// scenario file — run, serve, or figure — through the same public API,
+// and -json emits the machine-readable report.
 //
 // Usage examples:
 //
 //	drstrange -apps soplex -rng 5120 -design drstrange
 //	drstrange -apps lbm,mcf,libq -rng 5120 -design oblivious -instr 200000
 //	drstrange -apps soplex -rng 5120 -design drstrange -mech quac
+//	drstrange -scenario scenarios/fig10.json
+//	drstrange -apps soplex -json
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strings"
 
+	"drstrange"
+	"drstrange/internal/cliflag"
 	"drstrange/internal/sim"
-	"drstrange/internal/trng"
 	"drstrange/internal/workload"
 )
 
 func main() {
 	apps := flag.String("apps", "soplex", "comma-separated non-RNG applications (see -listapps)")
 	rng := flag.Float64("rng", 5120, "RNG benchmark required throughput in Mb/s (0 = none)")
-	designName := flag.String("design", "drstrange", "system design: "+strings.Join(sim.DesignNames(), "|"))
-	mech := flag.String("mech", "drange", "TRNG mechanism: "+strings.Join(trng.MechanismNames(), "|"))
+	designName := flag.String("design", "drstrange", "system design: "+cliflag.DesignNamesFlagHelp())
 	instr := flag.Int64("instr", sim.DefaultInstructions(), "per-core instruction budget")
 	buffer := flag.Int("buffer", 0, "random number buffer entries (0 = design default)")
-	workers := flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)")
-	engine := flag.String("engine", "", "simulation engine: event|ticked (default DRSTRANGE_ENGINE or event)")
 	listApps := flag.Bool("listapps", false, "list the application suite and exit")
+	common := cliflag.Register("drstrange")
 	flag.Parse()
-	sim.SetWorkers(*workers)
-	if *engine != "" && *engine != sim.EngineEvent && *engine != sim.EngineTicked {
-		fmt.Fprintf(os.Stderr, "drstrange: unknown engine %q (want event or ticked)\n", *engine)
-		os.Exit(2)
-	}
-	sim.SetEngine(*engine)
 
 	if *listApps {
 		for _, p := range workload.Profiles() {
@@ -44,62 +40,12 @@ func main() {
 		return
 	}
 
-	design, ok := sim.DesignByName(*designName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "drstrange: unknown design %q (valid: %s)\n",
-			*designName, strings.Join(sim.DesignNames(), ", "))
-		os.Exit(2)
-	}
-	mechanism, ok := trng.ByName(*mech)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "drstrange: unknown mechanism %q (valid: %s)\n",
-			*mech, strings.Join(trng.MechanismNames(), ", "))
-		os.Exit(2)
-	}
-
-	var names []string
-	for _, a := range strings.Split(*apps, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			continue
-		}
-		if _, ok := workload.ByName(a); !ok {
-			fmt.Fprintf(os.Stderr, "drstrange: unknown application %q (valid: %s)\n",
-				a, strings.Join(workload.ProfileNames(), ", "))
-			os.Exit(2)
-		}
-		names = append(names, a)
-	}
-	mix := workload.Mix{Name: strings.Join(names, "+"), Apps: names, RNGMbps: *rng}
-
-	w := sim.Evaluate(sim.RunConfig{
-		Design:       design,
-		Mix:          mix,
-		Mech:         mechanism,
-		BufferWords:  *buffer,
-		Instructions: *instr,
-	})
-
-	fmt.Printf("design: %v   mechanism: %s   mix: %s\n\n", design, mechanism.Name, mix.Name)
-	fmt.Printf("%-22s %10s\n", "metric", "value")
-	rows := []struct {
-		k string
-		v float64
-	}{
-		{"non-RNG slowdown", w.NonRNGSlowdown},
-		{"RNG slowdown", w.RNGSlowdown},
-		{"unfairness", w.Unfairness},
-		{"weighted speedup", w.WeightedSpeedup},
-		{"buffer serve rate", w.BufferServeRate},
-		{"predictor accuracy", w.PredictorAccuracy},
-		{"RNG stall fraction", w.RNGStallFrac},
-		{"energy (mJ)", w.EnergyJ * 1e3},
-	}
-	for _, r := range rows {
-		fmt.Printf("%-22s %10.3f\n", r.k, r.v)
-	}
-	st := w.Ctrl
-	fmt.Printf("\ncontroller: reads=%d writes=%d rng=%d (buffer hits=%d) rounds=%d switches=%d overrides=%d\n",
-		st.ReadsServed, st.WritesServed, st.RNGServed, st.RNGFromBuffer,
-		st.RNGRounds, st.ModeSwitches, st.StarvationOverrides)
+	sc := common.Scenario(drstrange.NewScenario(drstrange.KindRun,
+		drstrange.WithDesign(*designName),
+		drstrange.WithApps(cliflag.SplitList(*apps)...),
+		drstrange.WithRNGMbps(*rng),
+		drstrange.WithBufferWords(*buffer),
+		drstrange.WithInstructions(*instr),
+	))
+	common.Execute(sc)
 }

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -44,6 +46,12 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the in-flight experiment: the drivers stop
+	// claiming new simulations and the tool exits without printing a
+	// partial figure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = sim.ExperimentIDs()
@@ -55,7 +63,12 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		for _, f := range driver(*instr) {
+		figs := driver(ctx, *instr)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "figures: interrupted")
+			os.Exit(130)
+		}
+		for _, f := range figs {
 			fmt.Println(f.Render())
 			if *csvDir != "" {
 				if err := writeCSV(*csvDir, f); err != nil {

@@ -3,12 +3,16 @@
 // aggregate rate (Poisson, bursty, or diurnal arrivals) against a
 // chosen system design, and the tool reports the latency-vs-load
 // curves — served throughput, p50/p95/p99/p999 request latency, and
-// buffer hit rate per offered load — for each design side by side.
+// buffer hit rate — for each design side by side.
 //
 // This is the open-loop generalization of the paper's Figure 2 (which
 // sweeps TRNG throughput under closed-loop traces) and a scenario the
 // paper never plots: the tail latency of DR-STRaNGe's buffering
 // against on-demand generation under contention.
+//
+// The flags build a "serve" scenario; -scenario runs any JSON scenario
+// file — serve, run, or figure — through the same public API, and
+// -json emits the machine-readable report.
 //
 // Usage examples:
 //
@@ -16,24 +20,24 @@
 //	rngbench -designs oblivious,drstrange -loads 320,640,1280,2560
 //	rngbench -arrival bursty -burst 0.3 -apps soplex,mcf
 //	rngbench -mech quac -bytes 32 -window 200000
+//	rngbench -scenario scenarios/serve-sweep.json -json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
-	"drstrange/internal/sim"
-	"drstrange/internal/trng"
+	"drstrange"
+	"drstrange/internal/cliflag"
 	"drstrange/internal/workload"
 )
 
 func main() {
 	designsFlag := flag.String("designs", "oblivious,drstrange",
-		"comma-separated system designs to compare (valid: "+strings.Join(sim.DesignNames(), ", ")+")")
-	mech := flag.String("mech", "drange", "TRNG mechanism: "+strings.Join(trng.MechanismNames(), "|"))
+		"comma-separated system designs to compare: "+cliflag.DesignNamesFlagHelp())
 	loadsFlag := flag.String("loads", "160,320,640,1280,2560,3840",
 		"comma-separated offered loads in Mb/s of requested random bits")
 	apps := flag.String("apps", "", "comma-separated background applications sharing memory (empty = dedicated RNG system)")
@@ -45,88 +49,35 @@ func main() {
 	warmup := flag.Int64("warmup", 20000, "warmup ticks before measurement (0 = measure from cold start)")
 	window := flag.Int64("window", 100000, "measurement window in memory ticks (1 tick = 5 ns)")
 	seed := flag.Uint64("seed", 0, "experiment seed")
-	workers := flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)")
-	engine := flag.String("engine", "", "simulation engine: event|ticked (default DRSTRANGE_ENGINE or event)")
+	common := cliflag.Register("rngbench")
 	flag.Parse()
-	sim.SetWorkers(*workers)
-	if *engine != "" && *engine != sim.EngineEvent && *engine != sim.EngineTicked {
-		fmt.Fprintf(os.Stderr, "rngbench: unknown engine %q (want event or ticked)\n", *engine)
-		os.Exit(2)
-	}
-	sim.SetEngine(*engine)
 
-	var designs []sim.Design
-	for _, name := range splitList(*designsFlag) {
-		d, ok := sim.DesignByName(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "rngbench: unknown design %q (valid: %s)\n",
-				name, strings.Join(sim.DesignNames(), ", "))
-			os.Exit(2)
-		}
-		designs = append(designs, d)
-	}
+	designs := cliflag.SplitList(*designsFlag)
 	if len(designs) == 0 {
-		fmt.Fprintln(os.Stderr, "rngbench: no designs selected")
-		os.Exit(2)
-	}
-	mechanism, ok := trng.ByName(*mech)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "rngbench: unknown mechanism %q (valid: %s)\n",
-			*mech, strings.Join(trng.MechanismNames(), ", "))
-		os.Exit(2)
+		common.Fatal(errors.New("no designs selected"))
 	}
 	var loads []float64
-	for _, s := range splitList(*loadsFlag) {
+	for _, s := range cliflag.SplitList(*loadsFlag) {
 		v, err := strconv.ParseFloat(s, 64)
 		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "rngbench: bad load %q: want a positive Mb/s value\n", s)
-			os.Exit(2)
+			common.Fatal(fmt.Errorf("bad load %q: want a positive Mb/s value", s))
 		}
 		loads = append(loads, v)
 	}
 	if len(loads) == 0 {
-		fmt.Fprintln(os.Stderr, "rngbench: no offered loads")
-		os.Exit(2)
-	}
-	var bg workload.Mix
-	for _, a := range splitList(*apps) {
-		if _, ok := workload.ByName(a); !ok {
-			fmt.Fprintf(os.Stderr, "rngbench: unknown application %q (valid: %s)\n",
-				a, strings.Join(workload.ProfileNames(), ", "))
-			os.Exit(2)
-		}
-		bg.Apps = append(bg.Apps, a)
-	}
-	bg.Name = strings.Join(bg.Apps, "+")
-	if _, err := workload.NewArrivals(*arrival, 0.01, *burst, 0); err != nil {
-		fmt.Fprintf(os.Stderr, "rngbench: %v\n", err)
-		os.Exit(2)
+		common.Fatal(errors.New("no offered loads"))
 	}
 
-	cfg := sim.ServeConfig{
-		Mech:         mechanism,
-		Background:   bg,
-		Clients:      *clients,
-		RequestBytes: *bytesPer,
-		Arrival:      *arrival,
-		Burstiness:   *burst,
-		WarmupTicks:  *warmup,
-		WindowTicks:  *window,
-		Seed:         *seed,
-	}
-	for _, f := range sim.ServeCurves(designs, cfg, loads) {
-		fmt.Println(f.Render())
-	}
-	fmt.Printf("latencies in ns (1 memory tick = %g ns); achieved/offered in Mb/s of served random bits\n", sim.TickNanos)
-}
-
-// splitList splits a comma-separated flag, dropping empty elements.
-func splitList(s string) []string {
-	var out []string
-	for _, v := range strings.Split(s, ",") {
-		if v = strings.TrimSpace(v); v != "" {
-			out = append(out, v)
-		}
-	}
-	return out
+	sc := common.Scenario(drstrange.NewScenario(drstrange.KindServe,
+		drstrange.WithDesigns(designs...),
+		drstrange.WithLoads(loads...),
+		drstrange.WithApps(cliflag.SplitList(*apps)...),
+		drstrange.WithArrival(*arrival, *burst),
+		drstrange.WithClients(*clients),
+		drstrange.WithRequestBytes(*bytesPer),
+		drstrange.WithWarmupTicks(*warmup),
+		drstrange.WithWindowTicks(*window),
+		drstrange.WithSeed(*seed),
+	))
+	common.Execute(sc)
 }

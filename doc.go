@@ -1,59 +1,80 @@
 // Package drstrange is a from-scratch Go reproduction of "DR-STRaNGe:
 // End-to-End System Design for DRAM-based True Random Number
-// Generators" (Bostancı et al., HPCA 2022).
+// Generators" (Bostancı et al., HPCA 2022) — and the public,
+// declarative front door to its simulator.
 //
-// The public entry points are the command-line tools in cmd/ and the
-// runnable examples in examples/; the simulator itself lives under
+// # The scenario API
+//
+// One experiment is one Scenario: a JSON-serializable value whose Kind
+// selects the experiment family and whose fields name everything the
+// run needs — design, TRNG mechanism, engine, workload, arrival
+// process — instead of a pile of flags:
+//
+//   - KindFigure replays one of the paper's figure/table drivers
+//     ("fig1" ... "fig18", "sec6", "sec8.8", "sec8.9", "table1").
+//   - KindRun evaluates one closed-loop workload (shared run plus
+//     alone-run baselines) and reports the paper's derived metrics.
+//   - KindServe sweeps open-loop offered load over a design comparison
+//     set and reports the latency-vs-load serving curves.
+//
+// Construct scenarios with NewScenario and functional options, a
+// struct literal, or ParseScenario/LoadScenario from JSON (unknown
+// fields are rejected); Validate is the single source of the sorted
+// valid-name errors every consumer prints. Run executes:
+//
+//	sc := drstrange.NewScenario(drstrange.KindServe,
+//	    drstrange.WithDesigns("oblivious", "drstrange"),
+//	    drstrange.WithLoads(320, 1280, 2560),
+//	)
+//	rep, err := drstrange.Run(ctx, sc)
+//
+// The Report serializes to JSON (one format for every kind — what the
+// CLIs emit under -json) and renders to the exact text the drivers
+// have always printed, byte-identical through either path.
+//
+// Cancellation is real: the context handed to Run propagates into the
+// simulation worker pool (no new simulations are claimed), the
+// open-loop sweep's point loop, and the serving layer's sliced
+// System.StepTo walk, so a multi-point sweep aborts promptly
+// mid-flight and returns ctx.Err() instead of a partial report.
+// Stream is Run with coarse progress events on a channel.
+//
+// The command-line tools are thin clients of this API: cmd/drstrange
+// and cmd/rngbench build a Scenario from their flags (or load any
+// scenario kind via -scenario file.json), and cmd/figures drives the
+// same experiment registry. The runnable examples live in examples/
+// (examples/scenario tours the API); the simulator itself lives under
 // internal/ (see DESIGN.md for the system inventory and README.md for
-// a tour). The benchmarks in bench_test.go regenerate every table and
-// figure of the paper's evaluation; EXPERIMENTS.md records
-// paper-vs-measured results.
+// a tour, including the scenario schema reference).
 //
 // # Steppable core and open-loop serving
 //
 // Every driver is a client of one steppable system core, sim.System:
 // construction (cores + memory controller + TRNG from a RunConfig) is
 // separate from time advancement (Step/StepTo under either engine),
-// and results never depend on how a run is sliced into StepTo calls.
-// sim.Run steps a System to completion for the closed-loop trace
-// experiments; the open-loop layer steps measurement windows while
-// submitting externally generated RNG requests through the System's
-// injection port (RunConfig.Clients + InjectRNG), which records
-// per-request submit/accept/finish timestamps.
+// and results never depend on how a run is sliced into StepTo calls —
+// the invariant that also makes the cancellable serving walk exact.
+// The open-loop layer steps measurement windows while submitting
+// externally generated RNG requests through the System's injection
+// port, recording per-request submit/accept/finish timestamps;
+// sim.ServeLoad aggregates them into served throughput, p50/p95/p99/
+// p999 request latency, and buffer hit rate per offered-load point.
 //
-// On top of that port, sim.ServeLoad sweeps offered load: arrival
-// processes from internal/workload (Poisson, bursty, diurnal trace)
-// submit byte-requests from N simulated clients, and each point
-// reports served throughput, p50/p95/p99/p999 request latency, and
-// buffer hit rate. cmd/rngbench prints the resulting latency-vs-load
-// curves per design — the open-loop generalization of the paper's
-// Figure 2, and the tail-latency comparison of DR-STRaNGe's buffering
-// against on-demand generation that the paper never plots. A worked
-// example:
-//
-//	go run ./cmd/rngbench -designs oblivious,drstrange \
-//	    -loads 320,1280,2560 -apps mcf -arrival poisson
-//
-// prints one table per design with offered vs achieved Mb/s, the
-// latency percentiles in ns, and the buffer hit rate per load point;
-// examples/openloop is the runnable demo of the same sweep.
+// # Environment knobs
 //
 // Three environment variables tune every driver and benchmark (their
 // accepted values are documented and validated in internal/sim/env.go;
 // invalid settings warn once on stderr and fall back):
 //
 //   - DRSTRANGE_INSTR sets the per-core instruction budget of a
-//     measured run (default 100000; larger budgets sharpen the
-//     statistics at proportional simulation cost).
+//     measured run (default 100000).
 //   - DRSTRANGE_WORKERS sizes the experiment engine's worker pool
-//     (default GOMAXPROCS). Independent simulations fan out across
-//     the pool; results are collected in input order, so figure
-//     output is byte-identical at any worker count.
+//     (default GOMAXPROCS). Output is byte-identical at any count.
 //   - DRSTRANGE_ENGINE selects the inner simulation loop: "event"
-//     (default) skips ticks no component can act on, "ticked" is the
-//     reference cycle-by-cycle walk. The two produce bit-identical
-//     results; the ticked loop exists for differential testing.
+//     (default, tick-skipping) or "ticked" (the reference walk); the
+//     two produce bit-identical results.
 //
-// The cmd/ drivers also accept -workers and -engine flags with the
-// same meaning (and -instr where an instruction budget applies).
+// Scenario fields take precedence over the environment when set; unset
+// fields defer to it, so serialized scenarios stay portable across
+// differently tuned hosts. The cmd/ drivers expose matching flags.
 package drstrange

@@ -1,0 +1,132 @@
+// Package cliflag is the one flag surface shared by the scenario-driven
+// CLIs (cmd/drstrange, cmd/rngbench). Both tools used to duplicate the
+// design/mechanism/engine/workers parsing — and each carried its own
+// copy of the valid-name error messages. Now the flags only collect
+// strings into a drstrange.Scenario; Scenario.Validate is the single
+// source of the sorted valid-name errors, so the two CLIs (and the JSON
+// path) cannot drift apart.
+package cliflag
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"drstrange"
+	"drstrange/internal/sim"
+	"drstrange/internal/trng"
+)
+
+// Common holds the flag values every scenario CLI shares.
+type Common struct {
+	prog     string
+	mech     *string
+	engine   *string
+	workers  *int
+	scenario *string
+	jsonOut  *bool
+}
+
+// Register installs the shared flags on the default flag set:
+// -mech, -engine, -workers, -scenario (run a JSON scenario file
+// instead of the flag-built one) and -json (emit the report as JSON).
+func Register(prog string) *Common {
+	return &Common{
+		prog:     prog,
+		mech:     flag.String("mech", "drange", "TRNG mechanism: "+strings.Join(trng.MechanismNames(), "|")),
+		engine:   flag.String("engine", "", "simulation engine: event|ticked (default DRSTRANGE_ENGINE or event)"),
+		workers:  flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)"),
+		scenario: flag.String("scenario", "", "run this JSON scenario file (any kind) instead of the flag-built scenario"),
+		jsonOut:  flag.Bool("json", false, "emit the report as JSON instead of text"),
+	}
+}
+
+// Apply copies the shared execution knobs into a flag-built scenario.
+func (c *Common) Apply(sc *drstrange.Scenario) {
+	sc.Mechanism = *c.mech
+	sc.Engine = *c.engine
+	sc.Workers = *c.workers
+}
+
+// Scenario resolves which scenario to run: the -scenario file if
+// given, else the fallback the CLI assembled from its own flags with
+// the shared knobs applied. Shared knobs passed explicitly on the
+// command line override the loaded file's fields — flag > file > env >
+// default, the same precedence the scenario schema documents — so
+// `-scenario x.json -engine ticked` really runs the ticked engine.
+func (c *Common) Scenario(fallback drstrange.Scenario) drstrange.Scenario {
+	if *c.scenario == "" {
+		c.Apply(&fallback)
+		return fallback
+	}
+	sc, err := drstrange.LoadScenario(*c.scenario)
+	if err != nil {
+		c.Fatal(err)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["mech"] {
+		sc.Mechanism = *c.mech
+	}
+	if set["engine"] {
+		sc.Engine = *c.engine
+	}
+	if set["workers"] {
+		sc.Workers = *c.workers
+	}
+	return sc
+}
+
+// Execute validates and runs the scenario under an interrupt-aware
+// context and prints the report (text, or JSON under -json).
+// Validation and execution errors exit 2 with "prog: error" on stderr
+// (the CLI convention); an interrupt exits 130, the conventional
+// SIGINT status, so scripts can tell the two apart.
+func (c *Common) Execute(sc drstrange.Scenario) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := drstrange.Run(ctx, sc)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "%s: interrupted\n", c.prog)
+			os.Exit(130)
+		}
+		c.Fatal(err)
+	}
+	if *c.jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			c.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	fmt.Print(rep.Render())
+}
+
+// Fatal prints "prog: err" and exits 2 (the flag-error convention both
+// CLIs have always used).
+func (c *Common) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", c.prog, err)
+	os.Exit(2)
+}
+
+// SplitList splits a comma-separated flag value, dropping empty
+// elements.
+func SplitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DesignNamesFlagHelp is the shared help-text fragment listing the
+// accepted design names.
+func DesignNamesFlagHelp() string { return strings.Join(sim.DesignNames(), "|") }

@@ -60,6 +60,16 @@ func Engine() string {
 	return envEngine()
 }
 
+// EngineOverride reports the raw SetEngine override ("" when unset),
+// letting callers that apply a temporary override — the public
+// scenario API — restore the exact prior state rather than the default
+// resolution.
+func EngineOverride() string {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	return engineSet
+}
+
 // SetEngine overrides the engine for subsequent runs (the cmd/ drivers'
 // -engine flag and the differential tests); "" restores the default
 // resolution. Unknown names select the default event engine.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -90,16 +91,17 @@ func TestEngineDifferentialIdleProfile(t *testing.T) {
 // no-buffer RNG-aware corner.
 func TestGoldenFigureOutputIdenticalAcrossEngines(t *testing.T) {
 	const instr = 1200
+	ctx := context.Background()
 	for _, tc := range []struct {
 		name   string
-		driver func(int64) []Figure
+		driver func(context.Context, int64) []Figure
 	}{
 		{"fig6", Figure6},
 		{"fig10", Figure10},
 	} {
 		var ticked, event string
-		underEngine(EngineTicked, func() { ticked = RenderAll(tc.driver(instr)) })
-		underEngine(EngineEvent, func() { event = RenderAll(tc.driver(instr)) })
+		underEngine(EngineTicked, func() { ticked = RenderAll(tc.driver(ctx, instr)) })
+		underEngine(EngineEvent, func() { event = RenderAll(tc.driver(ctx, instr)) })
 		if ticked != event {
 			t.Errorf("%s: rendered output differs between engines\n--- ticked ---\n%s\n--- event ---\n%s",
 				tc.name, ticked, event)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -17,7 +18,7 @@ import (
 
 // evalMixes evaluates a design over a mix list on the worker pool,
 // returning results in mix order.
-func evalMixes(d Design, mixes []workload.Mix, instr int64, opt func(*RunConfig)) []WorkloadResult {
+func evalMixes(ctx context.Context, d Design, mixes []workload.Mix, instr int64, opt func(*RunConfig)) []WorkloadResult {
 	cfgs := make([]RunConfig, len(mixes))
 	for i, m := range mixes {
 		cfg := RunConfig{Design: d, Mix: m, Instructions: instr}
@@ -26,7 +27,7 @@ func evalMixes(d Design, mixes []workload.Mix, instr int64, opt func(*RunConfig)
 		}
 		cfgs[i] = cfg
 	}
-	return evalAll(cfgs)
+	return evalAllCtx(ctx, cfgs)
 }
 
 func pluck(rs []WorkloadResult, f func(WorkloadResult) float64) []float64 {
@@ -44,7 +45,7 @@ func unfairOf(r WorkloadResult) float64 { return r.Unfairness }
 // Figure1 reproduces the motivation study: slowdowns and unfairness of
 // the 172 two-core workloads (43 apps x 4 required RNG throughputs) on
 // the RNG-oblivious baseline.
-func Figure1(instr int64) []Figure {
+func Figure1(ctx context.Context, instr int64) []Figure {
 	levels := []float64{640, 1280, 2560, 5120}
 	avg := Figure{
 		ID:     "Figure1",
@@ -59,8 +60,8 @@ func Figure1(instr int64) []Figure {
 	nr := make([]float64, len(levels))
 	rs := make([]float64, len(levels))
 	uf := make([]float64, len(levels))
-	parDo(len(levels), func(i int) {
-		res := evalMixes(DesignOblivious, workload.TwoCoreMixes(levels[i]), instr, nil)
+	parDoCtx(ctx, len(levels), func(i int) {
+		res := evalMixes(ctx, DesignOblivious, workload.TwoCoreMixes(levels[i]), instr, nil)
 		nr[i] = metrics.Mean(pluck(res, nonRNGOf))
 		rs[i] = metrics.Mean(pluck(res, rngOf))
 		uf[i] = metrics.Mean(pluck(res, unfairOf))
@@ -73,8 +74,8 @@ func Figure1(instr int64) []Figure {
 	avg.Notes = append(avg.Notes,
 		"paper: unfairness grows 1.32 -> 2.61 from 640 to 5120 Mb/s; non-RNG slowdown 93.1% at 5 Gb/s")
 
-	res := evalMixes(DesignOblivious, workload.FigureTwoCoreMixes(5120), instr, nil)
-	all := evalMixes(DesignOblivious, workload.TwoCoreMixes(5120), instr, nil)
+	res := evalMixes(ctx, DesignOblivious, workload.FigureTwoCoreMixes(5120), instr, nil)
+	all := evalMixes(ctx, DesignOblivious, workload.TwoCoreMixes(5120), instr, nil)
 	appVals := func(f func(WorkloadResult) float64) []float64 {
 		v := pluck(res, f)
 		return append(v, metrics.Mean(pluck(all, f)))
@@ -90,15 +91,15 @@ func Figure1(instr int64) []Figure {
 // Figure2 reproduces the TRNG-throughput sweep: box statistics of
 // non-RNG slowdown and unfairness across 43 workloads for parametric
 // TRNGs from 200 Mb/s to 6.4 Gb/s aggregate.
-func Figure2(instr int64) []Figure {
+func Figure2(ctx context.Context, instr int64) []Figure {
 	throughputs := []float64{200, 400, 800, 1600, 3200, 6400}
 	labels := []string{"2", "4", "8", "16", "32", "64"}
 	channels := 4
 	boxSeries := func(f func(WorkloadResult) float64) [6][]float64 {
 		boxes := make([]metrics.BoxStats, len(throughputs))
-		parDo(len(throughputs), func(i int) {
+		parDoCtx(ctx, len(throughputs), func(i int) {
 			mech := trng.Parametric(throughputs[i], channels)
-			res := evalMixes(DesignOblivious, workload.TwoCoreMixes(5120), instr,
+			res := evalMixes(ctx, DesignOblivious, workload.TwoCoreMixes(5120), instr,
 				func(c *RunConfig) { c.Mech = mech })
 			boxes[i] = metrics.Box(pluck(res, f))
 		})
@@ -138,7 +139,7 @@ func Figure2(instr int64) []Figure {
 // Figure5 reproduces the idle-period-length distribution of the
 // single-core applications, with the 64-bit single-channel generation
 // time as the reference line.
-func Figure5(instr int64) []Figure {
+func Figure5(ctx context.Context, instr int64) []Figure {
 	apps := workload.FigureApps()
 	f := Figure{
 		ID:     "Figure5",
@@ -149,7 +150,7 @@ func Figure5(instr int64) []Figure {
 	meds := make([]float64, len(apps))
 	q3s := make([]float64, len(apps))
 	longFrac := make([]float64, len(apps))
-	parDo(len(apps), func(i int) {
+	parDoCtx(ctx, len(apps), func(i int) {
 		app := apps[i]
 		lengths := IdleProfile(workload.Mix{Name: app, Apps: []string{app}}, instr)
 		if len(lengths) == 0 {
@@ -201,14 +202,14 @@ var designTriple = []Design{DesignOblivious, DesignGreedy, DesignDRStrange}
 
 // perAppComparison builds per-application figures for a set of designs
 // under one metric.
-func perAppComparison(id, title string, designs []Design, instr int64,
+func perAppComparison(ctx context.Context, id, title string, designs []Design, instr int64,
 	metric func(WorkloadResult) float64, opt func(*RunConfig)) Figure {
 	f := Figure{ID: id, Title: title, Labels: append(workload.FigureApps(), "AVG")}
 	series := make([]Series, len(designs))
-	parDo(len(designs), func(i int) {
+	parDoCtx(ctx, len(designs), func(i int) {
 		d := designs[i]
-		vals := pluck(evalMixes(d, workload.FigureTwoCoreMixes(5120), instr, opt), metric)
-		all := pluck(evalMixes(d, workload.TwoCoreMixes(5120), instr, opt), metric)
+		vals := pluck(evalMixes(ctx, d, workload.FigureTwoCoreMixes(5120), instr, opt), metric)
+		all := pluck(evalMixes(ctx, d, workload.TwoCoreMixes(5120), instr, opt), metric)
 		vals = append(vals, metrics.Mean(all))
 		series[i] = Series{Name: d.String(), Values: vals}
 	})
@@ -219,12 +220,12 @@ func perAppComparison(id, title string, designs []Design, instr int64,
 // Figure6 reproduces the dual-core performance comparison: slowdown of
 // non-RNG (top) and RNG (bottom) applications under the baseline,
 // Greedy, and DR-STRaNGe.
-func Figure6(instr int64) []Figure {
-	top := perAppComparison("Figure6-nonRNG", "Non-RNG slowdown over single-core execution",
+func Figure6(ctx context.Context, instr int64) []Figure {
+	top := perAppComparison(ctx, "Figure6-nonRNG", "Non-RNG slowdown over single-core execution",
 		designTriple, instr, nonRNGOf, nil)
 	top.Notes = append(top.Notes,
 		"paper: DR-STRaNGe reduces non-RNG execution time by 17.9% on average vs baseline")
-	bot := perAppComparison("Figure6-RNG", "RNG slowdown over single-core execution",
+	bot := perAppComparison(ctx, "Figure6-RNG", "RNG slowdown over single-core execution",
 		designTriple, instr, rngOf, nil)
 	bot.Notes = append(bot.Notes,
 		"paper: DR-STRaNGe reduces RNG execution time by 25.1% vs baseline (20.6% faster than alone)")
@@ -252,7 +253,7 @@ func multicoreGroups() (labels []string, groups [][]workload.Mix) {
 // Figure7 reproduces the normalized weighted speedup of non-RNG
 // applications in multicore workloads: Greedy and DR-STRaNGe
 // normalized to the RNG-oblivious baseline.
-func Figure7(instr int64) []Figure {
+func Figure7(ctx context.Context, instr int64) []Figure {
 	labels, groups := multicoreGroups()
 	f := Figure{
 		ID:     "Figure7",
@@ -276,7 +277,7 @@ func Figure7(instr int64) []Figure {
 			cfg.Design = d
 			cfgs = append(cfgs, cfg)
 		}
-		res := evalAll(cfgs)
+		res := evalAllCtx(ctx, cfgs)
 		ratios := make([][]float64, len(groups))
 		for i := 0; i < n; i++ {
 			base, cur := res[i], res[n+i]
@@ -298,7 +299,7 @@ func Figure7(instr int64) []Figure {
 
 // Figure8 reproduces the RNG application slowdown in multicore
 // workloads under the three designs.
-func Figure8(instr int64) []Figure {
+func Figure8(ctx context.Context, instr int64) []Figure {
 	labels, groups := multicoreGroups()
 	f := Figure{
 		ID:     "Figure8",
@@ -314,7 +315,7 @@ func Figure8(instr int64) []Figure {
 				cfgs = append(cfgs, RunConfig{Design: d, Mix: m, Instructions: instr})
 			}
 		}
-		res := evalAll(cfgs)
+		res := evalAllCtx(ctx, cfgs)
 		sl := make([][]float64, len(groups))
 		for i, r := range res {
 			sl[groupOf[i]] = append(sl[groupOf[i]], r.RNGSlowdown)
@@ -331,8 +332,8 @@ func Figure8(instr int64) []Figure {
 }
 
 // Figure9 reproduces dual-core system fairness for the three designs.
-func Figure9(instr int64) []Figure {
-	f := perAppComparison("Figure9", "Unfairness index (dual-core)",
+func Figure9(ctx context.Context, instr int64) []Figure {
+	f := perAppComparison(ctx, "Figure9", "Unfairness index (dual-core)",
 		designTriple, instr, unfairOf, nil)
 	f.Notes = append(f.Notes,
 		"paper: DR-STRaNGe improves fairness by 32.1% vs baseline and 15.2% vs Greedy")
@@ -342,7 +343,7 @@ func Figure9(instr int64) []Figure {
 // Figure10 reproduces the buffer-size sweep: slowdowns and buffer serve
 // rate for 0/1/4/16/64-entry buffers with the simple buffering
 // mechanism.
-func Figure10(instr int64) []Figure {
+func Figure10(ctx context.Context, instr int64) []Figure {
 	sizes := []int{0, 1, 4, 16, 64}
 	f := Figure{
 		ID:     "Figure10",
@@ -357,7 +358,7 @@ func Figure10(instr int64) []Figure {
 			d = DesignRNGAwareNoBuffer
 			opt = nil
 		}
-		res := evalMixes(d, workload.TwoCoreMixes(5120), instr, opt)
+		res := evalMixes(ctx, d, workload.TwoCoreMixes(5120), instr, opt)
 		nr = append(nr, metrics.Mean(pluck(res, nonRNGOf)))
 		rs = append(rs, metrics.Mean(pluck(res, rngOf)))
 		serve = append(serve, metrics.Mean(pluck(res, func(w WorkloadResult) float64 { return w.BufferServeRate })))
@@ -374,13 +375,13 @@ func Figure10(instr int64) []Figure {
 
 // Figure11 reproduces the scheduler ablation: FR-FCFS+Cap vs BLISS vs
 // the RNG-aware scheduler, all without a random number buffer.
-func Figure11(instr int64) []Figure {
+func Figure11(ctx context.Context, instr int64) []Figure {
 	designs := []Design{DesignOblivious, DesignBLISS, DesignRNGAwareNoBuffer}
-	top := perAppComparison("Figure11-nonRNG", "Non-RNG slowdown by scheduler (no buffer)",
+	top := perAppComparison(ctx, "Figure11-nonRNG", "Non-RNG slowdown by scheduler (no buffer)",
 		designs, instr, nonRNGOf, nil)
-	mid := perAppComparison("Figure11-RNG", "RNG slowdown by scheduler (no buffer)",
+	mid := perAppComparison(ctx, "Figure11-RNG", "RNG slowdown by scheduler (no buffer)",
 		designs, instr, rngOf, nil)
-	bot := perAppComparison("Figure11-unfairness", "Unfairness by scheduler (no buffer)",
+	bot := perAppComparison(ctx, "Figure11-unfairness", "Unfairness by scheduler (no buffer)",
 		designs, instr, unfairOf, nil)
 	bot.Notes = append(bot.Notes,
 		"paper: RNG-aware scheduler improves fairness 16.1%; BLISS raises unfairness 6.6% over FR-FCFS+Cap")
@@ -390,7 +391,7 @@ func Figure11(instr int64) []Figure {
 // Figure12 reproduces priority-based scheduling: DR-STRaNGe with the
 // non-RNG applications prioritized vs with the RNG application
 // prioritized, on the multicore groups.
-func Figure12(instr int64) []Figure {
+func Figure12(ctx context.Context, instr int64) []Figure {
 	groups := map[int][]workload.Mix{}
 	for _, cores := range []int{4, 8, 16} {
 		mg := workload.MultiCoreGroups(cores)
@@ -443,7 +444,7 @@ func Figure12(instr int64) []Figure {
 			}
 			cfgs = append(cfgs, cfg)
 		}
-		res := evalAll(cfgs)
+		res := evalAllCtx(ctx, cfgs)
 		wsr := make([][]float64, len(coreCounts))
 		slr := make([][]float64, len(coreCounts))
 		for i := 0; i < n; i++ {
@@ -470,11 +471,11 @@ func Figure12(instr int64) []Figure {
 }
 
 // Figure13 reproduces the idleness predictor ablation.
-func Figure13(instr int64) []Figure {
+func Figure13(ctx context.Context, instr int64) []Figure {
 	designs := []Design{DesignOblivious, DesignDRStrangeNoPred, DesignDRStrange, DesignDRStrangeRL}
-	top := perAppComparison("Figure13-nonRNG", "Non-RNG slowdown by idleness predictor",
+	top := perAppComparison(ctx, "Figure13-nonRNG", "Non-RNG slowdown by idleness predictor",
 		designs, instr, nonRNGOf, nil)
-	bot := perAppComparison("Figure13-RNG", "RNG slowdown by idleness predictor",
+	bot := perAppComparison(ctx, "Figure13-RNG", "RNG slowdown by idleness predictor",
 		designs, instr, rngOf, nil)
 	bot.Notes = append(bot.Notes,
 		"paper: simple predictor improves non-RNG/RNG by 12.4%/13.8% over no predictor; RL comparable at higher cost")
@@ -483,16 +484,16 @@ func Figure13(instr int64) []Figure {
 
 // Figure14 reproduces predictor accuracy: per-application on two-core
 // workloads and overall for 2/4/8/16-core workloads.
-func Figure14(instr int64) []Figure {
+func Figure14(ctx context.Context, instr int64) []Figure {
 	perApp := Figure{
 		ID:     "Figure14-2core",
 		Title:  "Idleness predictor accuracy, two-core workloads (%)",
 		Labels: append(workload.FigureApps(), "AVG"),
 	}
 	for _, d := range []Design{DesignDRStrange, DesignDRStrangeRL} {
-		vals := pluck(evalMixes(d, workload.FigureTwoCoreMixes(5120), instr, nil),
+		vals := pluck(evalMixes(ctx, d, workload.FigureTwoCoreMixes(5120), instr, nil),
 			func(w WorkloadResult) float64 { return w.PredictorAccuracy * 100 })
-		all := pluck(evalMixes(d, workload.TwoCoreMixes(5120), instr, nil),
+		all := pluck(evalMixes(ctx, d, workload.TwoCoreMixes(5120), instr, nil),
 			func(w WorkloadResult) float64 { return w.PredictorAccuracy * 100 })
 		vals = append(vals, metrics.Mean(all))
 		perApp.Series = append(perApp.Series, Series{Name: d.String(), Values: vals})
@@ -506,7 +507,7 @@ func Figure14(instr int64) []Figure {
 	}
 	for _, d := range []Design{DesignDRStrange, DesignDRStrangeRL} {
 		var vals []float64
-		two := pluck(evalMixes(d, workload.TwoCoreMixes(5120), instr, nil),
+		two := pluck(evalMixes(ctx, d, workload.TwoCoreMixes(5120), instr, nil),
 			func(w WorkloadResult) float64 { return w.PredictorAccuracy * 100 })
 		vals = append(vals, metrics.Mean(two))
 		for _, cores := range []int{4, 8, 16} {
@@ -517,7 +518,7 @@ func Figure14(instr int64) []Figure {
 					cfgs = append(cfgs, RunConfig{Design: d, Mix: m, Instructions: instr})
 				}
 			}
-			acc := pluck(evalAll(cfgs),
+			acc := pluck(evalAllCtx(ctx, cfgs),
 				func(w WorkloadResult) float64 { return w.PredictorAccuracy * 100 })
 			vals = append(vals, metrics.Mean(acc))
 		}
@@ -529,11 +530,11 @@ func Figure14(instr int64) []Figure {
 }
 
 // Figure15 reproduces the low-utilization prediction ablation.
-func Figure15(instr int64) []Figure {
+func Figure15(ctx context.Context, instr int64) []Figure {
 	designs := []Design{DesignOblivious, DesignDRStrangeNoLowUtil, DesignDRStrange}
-	top := perAppComparison("Figure15-nonRNG", "Non-RNG slowdown: low-utilization threshold 0 vs 4",
+	top := perAppComparison(ctx, "Figure15-nonRNG", "Non-RNG slowdown: low-utilization threshold 0 vs 4",
 		designs, instr, nonRNGOf, nil)
-	bot := perAppComparison("Figure15-RNG", "RNG slowdown: low-utilization threshold 0 vs 4",
+	bot := perAppComparison(ctx, "Figure15-RNG", "RNG slowdown: low-utilization threshold 0 vs 4",
 		designs, instr, rngOf, nil)
 	bot.Notes = append(bot.Notes,
 		"paper: threshold 4 improves non-RNG/RNG by 5.5%/11.7% over threshold 0")
@@ -541,13 +542,13 @@ func Figure15(instr int64) []Figure {
 }
 
 // Figure16 reproduces the QUAC-TRNG end-to-end evaluation.
-func Figure16(instr int64) []Figure {
+func Figure16(ctx context.Context, instr int64) []Figure {
 	opt := func(c *RunConfig) { c.Mech = trng.QUACTRNG() }
-	top := perAppComparison("Figure16-nonRNG", "Non-RNG slowdown with QUAC-TRNG",
+	top := perAppComparison(ctx, "Figure16-nonRNG", "Non-RNG slowdown with QUAC-TRNG",
 		designTriple, instr, nonRNGOf, opt)
-	mid := perAppComparison("Figure16-RNG", "RNG slowdown with QUAC-TRNG",
+	mid := perAppComparison(ctx, "Figure16-RNG", "RNG slowdown with QUAC-TRNG",
 		designTriple, instr, rngOf, opt)
-	bot := perAppComparison("Figure16-unfairness", "Unfairness with QUAC-TRNG",
+	bot := perAppComparison(ctx, "Figure16-unfairness", "Unfairness with QUAC-TRNG",
 		designTriple, instr, unfairOf, opt)
 	bot.Notes = append(bot.Notes,
 		"paper: with QUAC-TRNG DR-STRaNGe improves non-RNG/RNG by 18.2%/17.2% and fairness by 10.9%")
@@ -555,7 +556,7 @@ func Figure16(instr int64) []Figure {
 }
 
 // Figure17 reproduces Appendix A.1: RNG applications requiring 10 Gb/s.
-func Figure17(instr int64) []Figure {
+func Figure17(ctx context.Context, instr int64) []Figure {
 	mixes := func(names []string) []workload.Mix {
 		var out []workload.Mix
 		for _, n := range names {
@@ -573,7 +574,7 @@ func Figure17(instr int64) []Figure {
 		Labels: []string{"non-RNG slowdown", "RNG slowdown", "unfairness"},
 	}
 	for _, d := range designTriple {
-		res := evalMixes(d, mixes(apps), instr, nil)
+		res := evalMixes(ctx, d, mixes(apps), instr, nil)
 		f.Series = append(f.Series, Series{Name: d.String(), Values: []float64{
 			metrics.Mean(pluck(res, nonRNGOf)),
 			metrics.Mean(pluck(res, rngOf)),
@@ -587,7 +588,7 @@ func Figure17(instr int64) []Figure {
 
 // Figure18 reproduces Appendix A.3: idle-period distributions of the
 // multicore (non-RNG) workload groups.
-func Figure18(instr int64) []Figure {
+func Figure18(ctx context.Context, instr int64) []Figure {
 	f := Figure{
 		ID:    "Figure18",
 		Title: "DRAM idle period lengths, multicore non-RNG workloads (cycles)",
@@ -608,7 +609,7 @@ func Figure18(instr int64) []Figure {
 	meds := make([]float64, len(combos))
 	q3s := make([]float64, len(combos))
 	fracShort := make([]float64, len(combos))
-	parDo(len(combos), func(i int) {
+	parDoCtx(ctx, len(combos), func(i int) {
 		mg := workload.MultiCoreGroups(combos[i].cores)
 		var lengths []float64
 		// Profile the non-RNG composition alone (the paper's
@@ -644,14 +645,14 @@ func Figure18(instr int64) []Figure {
 
 // Section8_8 reproduces the low-intensity (640 Mb/s) RNG application
 // results.
-func Section8_8(instr int64) []Figure {
+func Section8_8(ctx context.Context, instr int64) []Figure {
 	f := Figure{
 		ID:     "Section8.8",
 		Title:  "Low-intensity RNG applications (640 Mb/s, avg of 43 workloads)",
 		Labels: []string{"non-RNG slowdown", "RNG slowdown", "unfairness"},
 	}
 	for _, d := range []Design{DesignOblivious, DesignDRStrange} {
-		res := evalMixes(d, workload.TwoCoreMixes(640), instr, nil)
+		res := evalMixes(ctx, d, workload.TwoCoreMixes(640), instr, nil)
 		f.Series = append(f.Series, Series{Name: d.String(), Values: []float64{
 			metrics.Mean(pluck(res, nonRNGOf)),
 			metrics.Mean(pluck(res, rngOf)),
@@ -664,7 +665,7 @@ func Section8_8(instr int64) []Figure {
 
 // EnergyArea reproduces Section 8.9: energy and memory-busy-time
 // reduction of DR-STRaNGe vs the baseline, plus the area estimates.
-func EnergyArea(instr int64) []Figure {
+func EnergyArea(ctx context.Context, instr int64) []Figure {
 	e := Figure{
 		ID:     "Section8.9-energy",
 		Title:  "Energy and memory busy time, DR-STRaNGe vs RNG-oblivious (avg of 43 workloads)",
@@ -672,7 +673,7 @@ func EnergyArea(instr int64) []Figure {
 	}
 	var energies, busys []float64
 	for _, d := range []Design{DesignOblivious, DesignDRStrange} {
-		res := evalMixes(d, workload.TwoCoreMixes(5120), instr, nil)
+		res := evalMixes(ctx, d, workload.TwoCoreMixes(5120), instr, nil)
 		energies = append(energies, metrics.Mean(pluck(res, func(w WorkloadResult) float64 { return w.EnergyJ * 1e3 })))
 		busys = append(busys, metrics.Mean(pluck(res, func(w WorkloadResult) float64 { return float64(w.MemBusyTicks) / 1e6 })))
 	}
@@ -735,8 +736,12 @@ func Table1() []Figure {
 }
 
 // Experiments is the registry of all reproduction drivers, keyed by
-// the paper's figure/table identifiers.
-var Experiments = map[string]func(instr int64) []Figure{
+// the paper's figure/table identifiers. Every driver takes a context:
+// cancellation stops the driver's simulation fan-out from claiming new
+// work (in-flight simulations complete, keeping the memo coherent), so
+// a cancelled driver's return value must be discarded — callers detect
+// abandonment via ctx.Err(), as the public scenario API does.
+var Experiments = map[string]func(ctx context.Context, instr int64) []Figure{
 	"fig1":   Figure1,
 	"fig2":   Figure2,
 	"fig5":   Figure5,
@@ -754,11 +759,11 @@ var Experiments = map[string]func(instr int64) []Figure{
 	"fig17":  Figure17,
 	"fig18":  Figure18,
 	"sec8.8": Section8_8,
-	"sec8.9": func(instr int64) []Figure { return EnergyArea(instr) },
-	"sec6": func(instr int64) []Figure {
-		return append(SecurityAnalysis(instr), PartitionCost(instr)...)
+	"sec8.9": func(ctx context.Context, instr int64) []Figure { return EnergyArea(ctx, instr) },
+	"sec6": func(ctx context.Context, instr int64) []Figure {
+		return append(SecurityAnalysis(instr), PartitionCost(ctx, instr)...)
 	},
-	"table1": func(int64) []Figure { return Table1() },
+	"table1": func(context.Context, int64) []Figure { return Table1() },
 }
 
 // ExperimentIDs returns the registry keys in stable order.

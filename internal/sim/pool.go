@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,16 @@ func workersLocked() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkersOverride reports the raw SetWorkers override (0 when unset),
+// letting callers that apply a temporary override — the public
+// scenario API — restore the exact prior state rather than the default
+// resolution.
+func WorkersOverride() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return workersSet
+}
+
 // SetWorkers overrides the pool size for subsequent jobs (the cmd/
 // drivers' -workers flag); n <= 0 restores the default resolution.
 func SetWorkers(n int) {
@@ -85,7 +96,15 @@ func runGated(cfg RunConfig) RunResult {
 // returns when all have completed. With one worker (or one job) it
 // degenerates to the plain sequential loop. A panic in any job is
 // re-raised in the caller after the remaining workers drain.
-func parDo(n int, f func(i int)) {
+func parDo(n int, f func(i int)) { parDoCtx(context.Background(), n, f) }
+
+// parDoCtx is parDo with cooperative cancellation: once ctx is done,
+// workers stop claiming new jobs and the call returns after in-flight
+// jobs finish. Jobs never start after cancellation, so a cancelled
+// fan-out leaves unclaimed slots untouched; callers detect the partial
+// result by consulting ctx.Err(). Every goroutine this function spawns
+// has joined by the time it returns — cancellation never leaks workers.
+func parDoCtx(ctx context.Context, n int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -95,6 +114,9 @@ func parDo(n int, f func(i int)) {
 	}
 	if g <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			f(i)
 		}
 		return
@@ -110,6 +132,9 @@ func parDo(n int, f func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -138,7 +163,14 @@ func parDo(n int, f func(i int)) {
 // evalAll evaluates every configuration on the worker pool, preserving
 // input order.
 func evalAll(cfgs []RunConfig) []WorkloadResult {
+	return evalAllCtx(context.Background(), cfgs)
+}
+
+// evalAllCtx is evalAll under a context: cancellation stops claiming
+// new configurations (and each Evaluate's own baseline fan-out), so the
+// returned slice is only meaningful when ctx.Err() == nil.
+func evalAllCtx(ctx context.Context, cfgs []RunConfig) []WorkloadResult {
 	out := make([]WorkloadResult, len(cfgs))
-	parDo(len(cfgs), func(i int) { out[i] = Evaluate(cfgs[i]) })
+	parDoCtx(ctx, len(cfgs), func(i int) { out[i], _ = EvaluateCtx(ctx, cfgs[i]) })
 	return out
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -148,8 +149,8 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 		SetWorkers(workers)
 		defer SetWorkers(0)
 		var figs []Figure
-		figs = append(figs, Section8_8(6000)...)
-		figs = append(figs, Figure10(6000)...)
+		figs = append(figs, Section8_8(context.Background(), 6000)...)
+		figs = append(figs, Figure10(context.Background(), 6000)...)
 		return RenderAll(figs)
 	}
 	seq := run(1)

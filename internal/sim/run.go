@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"drstrange/internal/energy"
@@ -52,14 +53,22 @@ type RunConfig struct {
 	TweakID string
 }
 
-func (c *RunConfig) normalize() {
+// Normalized returns the configuration with its defaults filled in:
+// the D-RaNGe mechanism and the DefaultInstructions budget. This is
+// the single defaulting point every entry path goes through (Run,
+// NewSystem, the memo), and the reference the public scenario API's
+// defaulting-parity tests compare against.
+func (c RunConfig) Normalized() RunConfig {
 	if c.Mech.Name == "" {
 		c.Mech = trng.DRaNGe()
 	}
 	if c.Instructions <= 0 {
 		c.Instructions = DefaultInstructions()
 	}
+	return c
 }
+
+func (c *RunConfig) normalize() { *c = c.Normalized() }
 
 // AppResult is one application's measured outcome.
 type AppResult struct {
@@ -146,7 +155,20 @@ type WorkloadResult struct {
 // 9) pay for each simulation once. The alone-run baselines are
 // independent simulations and fan out across the worker pool.
 func Evaluate(cfg RunConfig) WorkloadResult {
+	w, _ := EvaluateCtx(context.Background(), cfg)
+	return w
+}
+
+// EvaluateCtx is Evaluate under a context. Cancellation is cooperative
+// at simulation granularity: the shared run and any in-flight alone-run
+// baselines complete (keeping the memo coherent), but no new baseline
+// starts after ctx is done, and the error reports the abandonment. The
+// result is meaningful only when the error is nil.
+func EvaluateCtx(ctx context.Context, cfg RunConfig) (WorkloadResult, error) {
 	cfg.normalize()
+	if err := ctx.Err(); err != nil {
+		return WorkloadResult{}, err
+	}
 	shared := memoRun(cfg)
 
 	w := WorkloadResult{
@@ -162,13 +184,16 @@ func Evaluate(cfg RunConfig) WorkloadResult {
 
 	type baselines struct{ base, same AppResult }
 	alone := make([]baselines, len(shared.Apps))
-	parDo(len(shared.Apps), func(i int) {
+	parDoCtx(ctx, len(shared.Apps), func(i int) {
 		app := shared.Apps[i]
 		alone[i] = baselines{
 			base: aloneResult(app, cfg, DesignOblivious),
 			same: aloneResult(app, cfg, cfg.Design),
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return WorkloadResult{}, err
+	}
 
 	var memSlow []float64
 	var sharedIPC, aloneIPC []float64
@@ -190,5 +215,5 @@ func Evaluate(cfg RunConfig) WorkloadResult {
 	w.NonRNGSlowdown = metrics.Mean(nonRNG)
 	w.Unfairness = metrics.Unfairness(memSlow)
 	w.WeightedSpeedup = metrics.WeightedSpeedup(sharedIPC, aloneIPC)
-	return w
+	return w, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -147,7 +148,7 @@ func SecurityAnalysis(instr int64) []Figure {
 // PartitionCost measures the countermeasure's performance cost the
 // paper predicts to be small: DR-STRaNGe with a shared vs a
 // partitioned buffer on representative dual-core workloads.
-func PartitionCost(instr int64) []Figure {
+func PartitionCost(ctx context.Context, instr int64) []Figure {
 	apps := []string{"ycsb0", "soplex", "lbm", "libq"}
 	f := Figure{
 		ID:     "Section6-cost",
@@ -171,7 +172,7 @@ func PartitionCost(instr int64) []Figure {
 			cfgs[i] = cfg
 		}
 		var nr, rs []float64
-		for _, w := range evalAll(cfgs) {
+		for _, w := range evalAllCtx(ctx, cfgs) {
 			nr = append(nr, w.NonRNGSlowdown)
 			rs = append(rs, w.RNGSlowdown)
 		}

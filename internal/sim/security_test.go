@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestSecurityAnalysisShowsAndClosesChannel(t *testing.T) {
 	figs := SecurityAnalysis(30000)
@@ -23,7 +26,7 @@ func TestSecurityAnalysisShowsAndClosesChannel(t *testing.T) {
 }
 
 func TestPartitionCostSmall(t *testing.T) {
-	figs := PartitionCost(30000)
+	figs := PartitionCost(context.Background(), 30000)
 	f := figs[0]
 	shared, part := f.Series[0], f.Series[1]
 	// The paper predicts a small performance overhead; assert the

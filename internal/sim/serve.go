@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -62,7 +63,13 @@ type ServeConfig struct {
 	Seed        uint64
 }
 
-func (c *ServeConfig) normalize() {
+// Normalized returns the configuration with its defaults filled in:
+// D-RaNGe, 8 clients, 8-byte requests, Poisson arrivals, a 20000-tick
+// warmup (negative only — an explicit 0 measures from cold start) and
+// a 100000-tick window. This is the single defaulting point of the
+// serving layer, and the reference the public scenario API's
+// defaulting-parity tests compare against.
+func (c ServeConfig) Normalized() ServeConfig {
 	if c.Mech.Name == "" {
 		c.Mech = trng.DRaNGe()
 	}
@@ -81,7 +88,10 @@ func (c *ServeConfig) normalize() {
 	if c.WindowTicks <= 0 {
 		c.WindowTicks = 100_000
 	}
+	return c
 }
+
+func (c *ServeConfig) normalize() { *c = c.Normalized() }
 
 // ServePoint is one measured offered-load point of a serving sweep.
 // Latencies are in memory cycles (multiply by TickNanos for ns) and
@@ -115,12 +125,26 @@ type ServePoint struct {
 // seeded System, so results are byte-identical at any worker count and
 // under either engine.
 func ServeLoad(cfg ServeConfig, offeredMbps []float64) []ServePoint {
+	out, _ := ServeLoadCtx(context.Background(), cfg, offeredMbps)
+	return out
+}
+
+// ServeLoadCtx is ServeLoad under a context. Cancellation aborts the
+// sweep promptly and mid-flight: the point fan-out stops claiming new
+// load points, and each in-progress point — which advances its System
+// in bounded StepTo slices — abandons its measurement at the next
+// slice boundary. A cancelled sweep returns (nil, ctx.Err()); partial
+// points are never exposed.
+func ServeLoadCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) ([]ServePoint, error) {
 	cfg.normalize()
 	out := make([]ServePoint, len(offeredMbps))
-	parDo(len(offeredMbps), func(i int) {
-		out[i] = servePoint(cfg, offeredMbps[i])
+	parDoCtx(ctx, len(offeredMbps), func(i int) {
+		out[i] = servePoint(ctx, cfg, offeredMbps[i])
 	})
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // serveTarget is the per-core instruction budget of serving runs: large
@@ -129,7 +153,14 @@ func ServeLoad(cfg ServeConfig, offeredMbps []float64) []ServePoint {
 // from overflow.
 const serveTarget = int64(1) << 40
 
-func servePoint(cfg ServeConfig, mbps float64) ServePoint {
+// serveSlice bounds how many ticks servePoint advances per StepTo call
+// between context checks: small enough that cancellation lands within a
+// fraction of a measurement window, large enough that the re-entry
+// overhead is invisible (the StepTo slicing invariant guarantees the
+// sliced walk is bit-identical to one unsliced call).
+const serveSlice = 1 << 13
+
+func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	if mbps <= 0 {
 		panic("sim: offered load must be positive")
 	}
@@ -160,6 +191,9 @@ func servePoint(cfg ServeConfig, mbps float64) ServePoint {
 	end := cfg.WarmupTicks + cfg.WindowTicks
 	var reqs []*InjectedRequest
 	for i := 0; ; i++ {
+		if i&4095 == 0 && ctx.Err() != nil {
+			return ServePoint{}
+		}
 		t := arr.NextArrival()
 		if t >= end {
 			break
@@ -167,13 +201,25 @@ func servePoint(cfg ServeConfig, mbps float64) ServePoint {
 		reqs = append(reqs, sys.InjectRNG(i%cfg.Clients, t, words))
 	}
 
-	sys.StepTo(end - 1)
+	for sys.Now() < end {
+		if ctx.Err() != nil {
+			return ServePoint{}
+		}
+		target := sys.Now() + serveSlice
+		if target > end-1 {
+			target = end - 1
+		}
+		sys.StepTo(target)
+	}
 	// Drain: an open-loop measurement must not censor slow requests,
 	// so step until every one completes. The horizon bounds a saturated
 	// backlog (arrivals stopped at end, so it always drains; 20 extra
 	// windows covers offered loads far beyond capacity).
 	horizon := end + 20*cfg.WindowTicks
 	for sys.Now() < horizon {
+		if ctx.Err() != nil {
+			return ServePoint{}
+		}
 		done := true
 		for _, r := range reqs {
 			if !r.Done {
@@ -242,44 +288,67 @@ func percentile(sorted []float64, q float64) float64 {
 // metrics (latencies in ns). This is what cmd/rngbench prints and what
 // BenchmarkServeLoad tracks.
 func ServeCurves(designs []Design, cfg ServeConfig, offeredMbps []float64) []Figure {
+	figs, _ := ServeCurvesCtx(context.Background(), designs, cfg, offeredMbps)
+	return figs
+}
+
+// ServeCurvesCtx is ServeCurves under a context: designs fan out across
+// the worker pool and every underlying sweep aborts promptly on
+// cancellation, returning (nil, ctx.Err()).
+func ServeCurvesCtx(ctx context.Context, designs []Design, cfg ServeConfig, offeredMbps []float64) ([]Figure, error) {
 	cfg.normalize()
 	figs := make([]Figure, len(designs))
-	parDo(len(designs), func(i int) {
-		d := designs[i]
+	parDoCtx(ctx, len(designs), func(i int) {
 		c := cfg
-		c.Design = d
-		points := ServeLoad(c, offeredMbps)
-		f := Figure{
-			ID: fmt.Sprintf("ServeLoad-%s", d),
-			Title: fmt.Sprintf("%s serving %s %dB requests (%s, %d clients, bg=%s)",
-				d, cfg.Mech.Name, cfg.RequestBytes, cfg.Arrival, cfg.Clients, bgName(cfg.Background)),
-			// "served" is Completed/Submitted: below 1.0 the drain
-			// horizon censored the slowest requests, so the latency
-			// percentiles on that row are optimistic.
-			Labels: []string{"offered", "achieved", "p50ns", "p95ns", "p99ns", "p999ns", "bufhit", "served"},
-		}
-		for _, pt := range points {
-			servedFrac := 0.0
-			if pt.Submitted > 0 {
-				servedFrac = float64(pt.Completed) / float64(pt.Submitted)
-			}
-			f.Series = append(f.Series, Series{
-				Name: fmt.Sprintf("%gMb/s", pt.OfferedMbps),
-				Values: []float64{
-					pt.OfferedMbps,
-					pt.AchievedMbps,
-					pt.P50 * TickNanos,
-					pt.P95 * TickNanos,
-					pt.P99 * TickNanos,
-					pt.P999 * TickNanos,
-					pt.BufferHitRate,
-					servedFrac,
-				},
-			})
-		}
-		figs[i] = f
+		c.Design = designs[i]
+		figs[i], _ = ServeCurveCtx(ctx, c, offeredMbps)
 	})
-	return figs
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return figs, nil
+}
+
+// ServeCurveCtx sweeps the offered loads for cfg.Design alone and
+// renders the single latency-vs-load Figure. It is the unit ServeCurves
+// fans out, exported so callers that need per-design progress (the
+// public scenario API's Stream) can run one design at a time while the
+// worker pool still bounds the underlying simulations.
+func ServeCurveCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) (Figure, error) {
+	cfg.normalize()
+	points, err := ServeLoadCtx(ctx, cfg, offeredMbps)
+	if err != nil {
+		return Figure{}, err
+	}
+	f := Figure{
+		ID: fmt.Sprintf("ServeLoad-%s", cfg.Design),
+		Title: fmt.Sprintf("%s serving %s %dB requests (%s, %d clients, bg=%s)",
+			cfg.Design, cfg.Mech.Name, cfg.RequestBytes, cfg.Arrival, cfg.Clients, bgName(cfg.Background)),
+		// "served" is Completed/Submitted: below 1.0 the drain
+		// horizon censored the slowest requests, so the latency
+		// percentiles on that row are optimistic.
+		Labels: []string{"offered", "achieved", "p50ns", "p95ns", "p99ns", "p999ns", "bufhit", "served"},
+	}
+	for _, pt := range points {
+		servedFrac := 0.0
+		if pt.Submitted > 0 {
+			servedFrac = float64(pt.Completed) / float64(pt.Submitted)
+		}
+		f.Series = append(f.Series, Series{
+			Name: fmt.Sprintf("%gMb/s", pt.OfferedMbps),
+			Values: []float64{
+				pt.OfferedMbps,
+				pt.AchievedMbps,
+				pt.P50 * TickNanos,
+				pt.P95 * TickNanos,
+				pt.P99 * TickNanos,
+				pt.P999 * TickNanos,
+				pt.BufferHitRate,
+				servedFrac,
+			},
+		})
+	}
+	return f, nil
 }
 
 func bgName(m workload.Mix) string {

@@ -36,6 +36,18 @@ func ArrivalNames() []string {
 	return names
 }
 
+// ValidArrival reports whether name is an accepted arrival process
+// name. It is the validation entry point for callers that only hold a
+// spec — the scenario API and the CLI flag layer — and must agree with
+// NewArrivals, which is the construction entry point.
+func ValidArrival(name string) bool {
+	switch name {
+	case ArrivalPoisson, ArrivalBursty, ArrivalDiurnal:
+		return true
+	}
+	return false
+}
+
 // NewArrivals builds the named arrival process at ratePerTick mean
 // requests per memory cycle. Burstiness shapes the bursty process (it
 // is ignored by the others); the diurnal process modulates a full

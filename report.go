@@ -1,0 +1,168 @@
+package drstrange
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"drstrange/internal/sim"
+)
+
+// Series is one named row of a figure, aligned with the figure's
+// labels.
+type Series struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// Figure is one rendered table/figure of a report: the public mirror
+// of the simulator's figure type, with JSON tags so every consumer —
+// CLI text, bench tooling, future services — reads one format.
+type Figure struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Labels []string `json:"labels,omitempty"`
+	Series []Series `json:"series"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+// ControllerStats is the memory-controller summary a run report
+// carries (the counters the drstrange CLI has always printed).
+type ControllerStats struct {
+	ReadsServed         int64 `json:"reads_served"`
+	WritesServed        int64 `json:"writes_served"`
+	RNGServed           int64 `json:"rng_served"`
+	RNGFromBuffer       int64 `json:"rng_from_buffer"`
+	RNGRounds           int64 `json:"rng_rounds"`
+	ModeSwitches        int64 `json:"mode_switches"`
+	StarvationOverrides int64 `json:"starvation_overrides"`
+}
+
+// RunMetrics is the derived outcome of a run scenario: the paper's
+// workload metrics for one design/mix evaluation.
+type RunMetrics struct {
+	Design    string `json:"design"`
+	Mechanism string `json:"mechanism"`
+	Mix       string `json:"mix"`
+
+	NonRNGSlowdown    float64 `json:"non_rng_slowdown"`
+	RNGSlowdown       float64 `json:"rng_slowdown"`
+	Unfairness        float64 `json:"unfairness"`
+	WeightedSpeedup   float64 `json:"weighted_speedup"`
+	BufferServeRate   float64 `json:"buffer_serve_rate"`
+	PredictorAccuracy float64 `json:"predictor_accuracy"`
+	RNGStallFrac      float64 `json:"rng_stall_frac"`
+	EnergyJ           float64 `json:"energy_j"`
+
+	Controller ControllerStats `json:"controller"`
+}
+
+// Report is the result of running a Scenario: one serializable format
+// for every kind. Figure and serve scenarios fill Figures; run
+// scenarios fill Run. Render produces the exact text the pre-API
+// drivers printed, so downstream diffs keep working; JSON produces the
+// machine-readable form.
+type Report struct {
+	Scenario Scenario    `json:"scenario"`
+	Figures  []Figure    `json:"figures,omitempty"`
+	Run      *RunMetrics `json:"run,omitempty"`
+}
+
+// JSON serializes the report (two-space indent, trailing newline).
+func (r *Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Render formats the report as the drivers' conventional text:
+//
+//   - figure scenarios: the aligned figure tables, byte-identical to
+//     the internal drivers' RenderAll output;
+//   - serve scenarios: the per-design latency-vs-load tables plus the
+//     units footer, byte-identical to cmd/rngbench's classic output;
+//   - run scenarios: the metric table cmd/drstrange has always
+//     printed.
+func (r *Report) Render() string {
+	switch r.Scenario.Kind {
+	case KindRun:
+		if r.Run != nil {
+			return renderRun(r.Run)
+		}
+		return ""
+	case KindServe:
+		return renderAll(r.Figures) + fmt.Sprintf(
+			"latencies in ns (1 memory tick = %g ns); achieved/offered in Mb/s of served random bits\n",
+			sim.TickNanos)
+	default:
+		return renderAll(r.Figures)
+	}
+}
+
+// renderAll renders the figures through the simulator's own renderer —
+// one formatting implementation, so the public path cannot drift from
+// the internal drivers' bytes.
+func renderAll(figs []Figure) string {
+	var b strings.Builder
+	for i := range figs {
+		f := figs[i].toSim()
+		b.WriteString(f.Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderRun(m *RunMetrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design: %s   mechanism: %s   mix: %s\n\n", m.Design, m.Mechanism, m.Mix)
+	fmt.Fprintf(&b, "%-22s %10s\n", "metric", "value")
+	rows := []struct {
+		k string
+		v float64
+	}{
+		{"non-RNG slowdown", m.NonRNGSlowdown},
+		{"RNG slowdown", m.RNGSlowdown},
+		{"unfairness", m.Unfairness},
+		{"weighted speedup", m.WeightedSpeedup},
+		{"buffer serve rate", m.BufferServeRate},
+		{"predictor accuracy", m.PredictorAccuracy},
+		{"RNG stall fraction", m.RNGStallFrac},
+		{"energy (mJ)", m.EnergyJ * 1e3},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-22s %10.3f\n", row.k, row.v)
+	}
+	st := m.Controller
+	fmt.Fprintf(&b, "\ncontroller: reads=%d writes=%d rng=%d (buffer hits=%d) rounds=%d switches=%d overrides=%d\n",
+		st.ReadsServed, st.WritesServed, st.RNGServed, st.RNGFromBuffer,
+		st.RNGRounds, st.ModeSwitches, st.StarvationOverrides)
+	return b.String()
+}
+
+// fromSim converts an internal figure to the public mirror.
+func fromSim(f sim.Figure) Figure {
+	out := Figure{ID: f.ID, Title: f.Title, Labels: f.Labels, Notes: f.Notes}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, Series{Name: s.Name, Values: s.Values})
+	}
+	return out
+}
+
+func fromSimAll(figs []sim.Figure) []Figure {
+	out := make([]Figure, len(figs))
+	for i, f := range figs {
+		out[i] = fromSim(f)
+	}
+	return out
+}
+
+// toSim converts back for rendering.
+func (f Figure) toSim() sim.Figure {
+	out := sim.Figure{ID: f.ID, Title: f.Title, Labels: f.Labels, Notes: f.Notes}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, sim.Series{Name: s.Name, Values: s.Values})
+	}
+	return out
+}
