@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench-smoke bench-json figures examples-smoke scenario-smoke ci
+.PHONY: all build test race fmt vet bench-smoke bench-json bench-compare figures examples-smoke scenario-smoke ci
 
 all: build
 
@@ -29,12 +29,13 @@ bench-smoke:
 	DRSTRANGE_INSTR=5000 $(GO) test -run '^$$' -bench BenchmarkFigure1 -benchtime 1x .
 
 # Machine-readable perf trajectory: run every benchmark once — the
-# figure drivers plus the open-loop ServeLoad serving sweep — and emit
+# figure drivers plus the open-loop ServeLoad serving sweeps — and emit
 # BENCH_<utc timestamp>.json with ns/op, each benchmark's headline
-# metric (figure headline or DR-STRaNGe's mid-load p99 serving latency),
-# and allocs/op. Honors DRSTRANGE_INSTR / DRSTRANGE_WORKERS /
-# DRSTRANGE_ENGINE; CI uploads the file as an artifact so speedups and
-# regressions are diffable across PRs.
+# metric (figure headline or serving p99 latency), allocs/op, and the
+# serve_memory headline (B/op + allocs/op of the saturated serve point,
+# the streaming pipeline's worst case). Honors DRSTRANGE_INSTR /
+# DRSTRANGE_WORKERS / DRSTRANGE_ENGINE; CI uploads the file as an
+# artifact so speedups and regressions are diffable across PRs.
 # (The bench output goes through a temp file, not a pipe, so a failing
 # benchmark fails the target instead of leaving a partial snapshot.)
 bench-json:
@@ -43,6 +44,15 @@ bench-json:
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
 	$(GO) run ./cmd/benchjson < $$out; status=$$?; rm -f $$out; exit $$status
+
+# Diff two bench JSON snapshots benchmark by benchmark (ns/op, B/op,
+# allocs/op, headline; ratio = new/old). BENCH_baseline.json is the
+# committed reference:
+#   make bench-compare OLD=BENCH_baseline.json NEW=BENCH_<ts>.json
+OLD ?= BENCH_baseline.json
+bench-compare:
+	@test -n "$(NEW)" || { echo "usage: make bench-compare [OLD=old.json] NEW=new.json"; exit 2; }
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 # Regenerate every figure at the default budget (slow; honors
 # DRSTRANGE_INSTR and DRSTRANGE_WORKERS).

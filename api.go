@@ -139,6 +139,8 @@ func execute(ctx context.Context, sc Scenario, emit func(Progress)) (*Report, er
 		cfg, designs := sc.serveConfig()
 		emit(Progress{Stage: "start", Total: len(designs)})
 		figs := make([]Figure, len(designs))
+		stats := make([]ServeDesignStats, len(designs))
+		errs := make([]error, len(designs))
 		var (
 			wg      sync.WaitGroup
 			emitMu  sync.Mutex
@@ -154,11 +156,13 @@ func execute(ctx context.Context, sc Scenario, emit func(Progress)) (*Report, er
 				defer wg.Done()
 				c := cfg
 				c.Design = designs[i]
-				f, err := sim.ServeCurveCtx(ctx, c, sc.Loads)
+				f, pts, err := sim.ServeCurveCtx(ctx, c, sc.Loads)
 				if err != nil {
+					errs[i] = err
 					return
 				}
 				figs[i] = fromSim(f)
+				stats[i] = serveStatsFrom(designs[i].String(), pts)
 				emitMu.Lock()
 				emitted++
 				emit(Progress{Stage: "design", Item: designs[i].String(), Done: emitted, Total: len(designs)})
@@ -169,7 +173,15 @@ func execute(ctx context.Context, sc Scenario, emit func(Progress)) (*Report, er
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Propagate the first real per-design error (design order, so the
+		// choice is deterministic) instead of reporting a zero figure.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 		rep.Figures = figs
+		rep.Serve = stats
 	}
 	emit(Progress{Stage: "done", Done: 1, Total: 1})
 	return rep, nil

@@ -139,6 +139,54 @@ func BenchmarkServeLoad(b *testing.B) {
 	b.ReportMetric(figs[1].Series[1].Values[4], "headline")
 }
 
+// BenchmarkServeLoadSaturated is the serve path's memory headline: one
+// offered-load point at 2x the mechanism's capacity (the worst case for
+// the streaming pipeline — the backlog holds the outstanding-request
+// peak high through the whole window and drain), with background
+// contention. Its B/op and allocs/op are what `make bench-json` surfaces
+// as the serve_memory headline; the reported peak_outstanding metric is
+// the pipeline's live-set bound in requests.
+func BenchmarkServeLoadSaturated(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sim.ServeConfig{
+		Design:      sim.DesignDRStrange,
+		Background:  workload.Mix{Name: "mcf", Apps: []string{"mcf"}},
+		WarmupTicks: 10_000,
+		WindowTicks: 50_000,
+		Seed:        3,
+	}
+	var pts []sim.ServePoint
+	for i := 0; i < b.N; i++ {
+		pts = sim.ServeLoad(cfg, []float64{5120})
+	}
+	b.ReportMetric(float64(pts[0].PeakOutstanding), "peak_outstanding")
+	b.ReportMetric(pts[0].P99*sim.TickNanos, "headline")
+}
+
+// BenchmarkServeLoadLongWindow holds the offered load at capacity over
+// a 4,000,000-tick window (80x the default; 20 ms of simulated time).
+// Before the streaming pipeline this point materialized every arrival
+// up front and retained every request and latency to the end —
+// ~170 MB and ~800k allocations — making long-horizon serving sweeps
+// infeasible; the constant-memory pipeline runs it in O(outstanding)
+// heap, which B/op tracks.
+func BenchmarkServeLoadLongWindow(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sim.ServeConfig{
+		Design:      sim.DesignDRStrange,
+		Background:  workload.Mix{Name: "mcf", Apps: []string{"mcf"}},
+		WarmupTicks: 10_000,
+		WindowTicks: 4_000_000,
+		Seed:        3,
+	}
+	var pts []sim.ServePoint
+	for i := 0; i < b.N; i++ {
+		pts = sim.ServeLoad(cfg, []float64{2560})
+	}
+	b.ReportMetric(float64(pts[0].PeakOutstanding), "peak_outstanding")
+	b.ReportMetric(pts[0].P99*sim.TickNanos, "headline")
+}
+
 // BenchmarkAblationModeSwitchCost measures sensitivity to the RNG-mode
 // switch overhead (a design choice DESIGN.md calls out): the same
 // workload under mechanisms with scaled enter/exit latencies.

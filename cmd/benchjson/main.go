@@ -7,10 +7,19 @@
 //
 //	go test -run '^$' -bench . -benchtime 1x . | go run ./cmd/benchjson
 //	... | go run ./cmd/benchjson -out BENCH_custom.json
+//	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
 //
 // Every input line is passed through to stdout unchanged, so piping
 // through benchjson costs nothing in CI logs. The default output file
 // is BENCH_<UTC timestamp>.json in the current directory.
+//
+// The snapshot carries a serve_memory headline — B/op and allocs/op of
+// the ServeLoadSaturated benchmark (the streaming serve pipeline at its
+// worst-case point) — so serve-path memory regressions surface at the
+// top of the file, not three screens into the benchmark list.
+//
+// -compare diffs two snapshots benchmark by benchmark (ns/op, B/op,
+// allocs/op, headline) and is what `make bench-compare` runs.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -33,17 +43,43 @@ type benchResult struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// serveMemory is the serve-path memory headline: the saturated point's
+// per-sweep heap cost, extracted from BenchmarkServeLoadSaturated.
+type serveMemory struct {
+	Benchmark   string  `json:"benchmark"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
 // snapshot is the emitted file: the benchmark list plus enough context
 // to compare like with like across commits.
 type snapshot struct {
 	GeneratedAt string            `json:"generated_at"`
 	Env         map[string]string `json:"env"`
+	ServeMemory *serveMemory      `json:"serve_memory,omitempty"`
 	Benchmarks  []benchResult     `json:"benchmarks"`
 }
 
+// serveMemoryBench names the benchmark whose B/op + allocs/op become
+// the snapshot's serve_memory headline.
+const serveMemoryBench = "ServeLoadSaturated"
+
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<utc timestamp>.json)")
+	compare := flag.Bool("compare", false, "compare two snapshot files (args: old.json new.json) instead of reading bench output")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareSnapshots(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	snap := snapshot{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -72,6 +108,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	for _, b := range snap.Benchmarks {
+		if b.Name == serveMemoryBench {
+			snap.ServeMemory = &serveMemory{
+				Benchmark:   b.Name,
+				BytesPerOp:  b.Metrics["B/op"],
+				AllocsPerOp: b.Metrics["allocs/op"],
+			}
+		}
+	}
 
 	path := *out
 	if path == "" {
@@ -87,6 +132,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// loadSnapshot reads one emitted BENCH_*.json file.
+func loadSnapshot(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// compareMetrics are the per-benchmark columns of the -compare table,
+// in print order.
+var compareMetrics = []string{"ns/op", "B/op", "allocs/op", "headline"}
+
+// compareSnapshots prints a benchmark-by-benchmark diff of two
+// snapshots: old value, new value, and the ratio new/old for each
+// metric both sides report. Benchmarks present on only one side are
+// listed at the end so renames and additions are visible.
+func compareSnapshots(oldPath, newPath string) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]benchResult{}
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Printf("%-28s %-10s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "ratio")
+	seen := map[string]bool{}
+	for _, nb := range newSnap.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			continue
+		}
+		seen[nb.Name] = true
+		for _, m := range compareMetrics {
+			ov, hasOld := ob.Metrics[m]
+			nv, hasNew := nb.Metrics[m]
+			if !hasOld || !hasNew {
+				continue
+			}
+			ratio := math.NaN()
+			if ov != 0 {
+				ratio = nv / ov
+			}
+			fmt.Printf("%-28s %-10s %14.1f %14.1f %7.3fx\n", nb.Name, m, ov, nv, ratio)
+		}
+	}
+	for _, b := range newSnap.Benchmarks {
+		if _, inOld := oldBy[b.Name]; !inOld {
+			fmt.Printf("%-28s only in %s\n", b.Name, newPath)
+		}
+	}
+	for _, b := range oldSnap.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Printf("%-28s only in %s\n", b.Name, oldPath)
+		}
+	}
+	return nil
 }
 
 // parseBenchLine parses one `go test -bench` result line:

@@ -4,6 +4,9 @@
 // scenario file — run, serve, or figure — through the same public API,
 // and -json emits the machine-readable report.
 //
+// -cpuprofile and -memprofile capture pprof profiles of the run for
+// performance diagnosis.
+//
 // Usage examples:
 //
 //	drstrange -apps soplex -rng 5120 -design drstrange
@@ -11,6 +14,7 @@
 //	drstrange -apps soplex -rng 5120 -design drstrange -mech quac
 //	drstrange -scenario scenarios/fig10.json
 //	drstrange -apps soplex -json
+//	drstrange -apps mcf -cpuprofile cpu.pb -memprofile mem.pb
 package main
 
 import (

@@ -12,7 +12,9 @@
 //
 // The flags build a "serve" scenario; -scenario runs any JSON scenario
 // file — serve, run, or figure — through the same public API, and
-// -json emits the machine-readable report.
+// -json emits the machine-readable report. -cpuprofile and -memprofile
+// capture pprof profiles of the sweep (the heap profile is taken after
+// a GC, so it shows the serve path's live O(outstanding) footprint).
 //
 // Usage examples:
 //
@@ -21,6 +23,7 @@
 //	rngbench -arrival bursty -burst 0.3 -apps soplex,mcf
 //	rngbench -mech quac -bytes 32 -window 200000
 //	rngbench -scenario scenarios/serve-sweep.json -json
+//	rngbench -loads 5120 -window 1000000 -cpuprofile cpu.pb -memprofile mem.pb
 package main
 
 import (

@@ -60,6 +60,33 @@
 // sim.ServeLoad aggregates them into served throughput, p50/p95/p99/
 // p999 request latency, and buffer hit rate per offered-load point.
 //
+// # The serve path's memory model
+//
+// The serving pipeline is constant-memory: one offered-load point's
+// heap is O(simultaneously outstanding requests), independent of the
+// measurement window's length and of how many requests the window
+// submits in total. Three mechanisms carry that bound end to end:
+//
+//   - Arrivals are generated lazily, one StepTo slice ahead of the
+//     simulated clock, instead of materializing the whole schedule.
+//   - The System's completion hook (sim.System.OnInjectionComplete)
+//     delivers each request exactly once, at the tick its last word
+//     completes, with its timestamps final; the serving layer folds it
+//     into running counters and an exact sparse latency histogram
+//     (internal/metrics.Histogram — nearest-rank percentiles equal to
+//     sorting every observation, enforced by property test), after
+//     which the handle returns to a freelist and is reused by a later
+//     injection. Hook contract: the callback must copy what it needs,
+//     must not retain the pointer past its return, and must not call
+//     back into the System.
+//   - Drain progress polls the O(1) outstanding-request count rather
+//     than scanning a request slice.
+//
+// Per-point Report.Serve stats surface the bound as measured:
+// peak_outstanding (the live-set high-water mark), recycled_requests,
+// and latency_bins. The figure bytes are pinned against the
+// pre-streaming collection code on both engines.
+//
 // # Environment knobs
 //
 // Three environment variables tune every driver and benchmark (their

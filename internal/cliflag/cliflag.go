@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"drstrange"
@@ -23,25 +25,32 @@ import (
 
 // Common holds the flag values every scenario CLI shares.
 type Common struct {
-	prog     string
-	mech     *string
-	engine   *string
-	workers  *int
-	scenario *string
-	jsonOut  *bool
+	prog       string
+	mech       *string
+	engine     *string
+	workers    *int
+	scenario   *string
+	jsonOut    *bool
+	cpuprofile *string
+	memprofile *string
 }
 
 // Register installs the shared flags on the default flag set:
 // -mech, -engine, -workers, -scenario (run a JSON scenario file
-// instead of the flag-built one) and -json (emit the report as JSON).
+// instead of the flag-built one), -json (emit the report as JSON), and
+// the profiling pair -cpuprofile/-memprofile (pprof files covering the
+// scenario's execution, so serve-path regressions are diagnosable
+// without editing code).
 func Register(prog string) *Common {
 	return &Common{
-		prog:     prog,
-		mech:     flag.String("mech", "drange", "TRNG mechanism: "+strings.Join(trng.MechanismNames(), "|")),
-		engine:   flag.String("engine", "", "simulation engine: event|ticked (default DRSTRANGE_ENGINE or event)"),
-		workers:  flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)"),
-		scenario: flag.String("scenario", "", "run this JSON scenario file (any kind) instead of the flag-built scenario"),
-		jsonOut:  flag.Bool("json", false, "emit the report as JSON instead of text"),
+		prog:       prog,
+		mech:       flag.String("mech", "drange", "TRNG mechanism: "+strings.Join(trng.MechanismNames(), "|")),
+		engine:     flag.String("engine", "", "simulation engine: event|ticked (default DRSTRANGE_ENGINE or event)"),
+		workers:    flag.Int("workers", 0, "parallel simulation workers (0 = DRSTRANGE_WORKERS or GOMAXPROCS)"),
+		scenario:   flag.String("scenario", "", "run this JSON scenario file (any kind) instead of the flag-built scenario"),
+		jsonOut:    flag.Bool("json", false, "emit the report as JSON instead of text"),
+		cpuprofile: flag.String("cpuprofile", "", "write a CPU profile of the scenario's execution to this file"),
+		memprofile: flag.String("memprofile", "", "write a heap profile taken after the scenario completes to this file"),
 	}
 }
 
@@ -82,14 +91,18 @@ func (c *Common) Scenario(fallback drstrange.Scenario) drstrange.Scenario {
 }
 
 // Execute validates and runs the scenario under an interrupt-aware
-// context and prints the report (text, or JSON under -json).
-// Validation and execution errors exit 2 with "prog: error" on stderr
-// (the CLI convention); an interrupt exits 130, the conventional
-// SIGINT status, so scripts can tell the two apart.
+// context and prints the report (text, or JSON under -json), profiling
+// the execution when -cpuprofile/-memprofile ask for it. Validation
+// and execution errors exit 2 with "prog: error" on stderr (the CLI
+// convention); an interrupt exits 130, the conventional SIGINT status,
+// so scripts can tell the two apart.
 func (c *Common) Execute(sc drstrange.Scenario) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	stopProfiles := c.startProfiles()
 	rep, err := drstrange.Run(ctx, sc)
+	// The profiles must land before any exit path: os.Exit skips defers.
+	stopProfiles()
 	if err != nil {
 		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "%s: interrupted\n", c.prog)
@@ -106,6 +119,50 @@ func (c *Common) Execute(sc drstrange.Scenario) {
 		return
 	}
 	fmt.Print(rep.Render())
+}
+
+// startProfiles starts the requested pprof captures and returns the
+// function that finalizes them: it stops the CPU profile and writes the
+// heap profile (after a GC, so the heap reflects live memory — the
+// serve path's O(outstanding) claim — rather than garbage). Both files
+// are created up front, so an unwritable path fails before the
+// scenario burns minutes of simulation.
+func (c *Common) startProfiles() (stop func()) {
+	var cpuFile, memFile *os.File
+	if *c.cpuprofile != "" {
+		f, err := os.Create(*c.cpuprofile)
+		if err != nil {
+			c.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			c.Fatal(err)
+		}
+		cpuFile = f
+	}
+	if *c.memprofile != "" {
+		f, err := os.Create(*c.memprofile)
+		if err != nil {
+			c.Fatal(err)
+		}
+		memFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				c.Fatal(err)
+			}
+		}
+		if memFile != nil {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				c.Fatal(err)
+			}
+			if err := memFile.Close(); err != nil {
+				c.Fatal(err)
+			}
+		}
+	}
 }
 
 // Fatal prints "prog: err" and exits 2 (the flag-error convention both

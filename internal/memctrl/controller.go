@@ -90,6 +90,13 @@ type Controller struct {
 	candScratch  []chanCand // planDemand's candidate list
 	free         []*Request // Request freelist (recycled on retirement)
 
+	// unblocks counts events that can unstall a waiting core: a request
+	// marked Done, or a slot freed in any bounded queue (read, write,
+	// RNG). Callers that cache "every core is stalled" (the system's
+	// event engine) revalidate only when this counter moves — see
+	// UnblockEvents.
+	unblocks int64
+
 	stats Stats
 }
 
@@ -162,6 +169,16 @@ func (c *Controller) Recycle(r *Request) {
 		c.free = append(c.free, r)
 	}
 }
+
+// UnblockEvents returns a monotone counter of events that could unstall
+// a fully stalled core: a request completing (Done set) or a request
+// leaving a bounded queue (freeing the slot a backpressured dispatch is
+// waiting for). A core that reported the far-future NextEventTick
+// sentinel stays stalled for as long as this counter holds still, which
+// lets the engine skip re-scanning cores between controller events.
+// Over-counting is safe (an extra rescan); under-counting would break
+// the engine invariant, so every pop/Done site bumps it.
+func (c *Controller) UnblockEvents() int64 { return c.unblocks }
 
 // Device exposes the DRAM device (energy model, tests).
 func (c *Controller) Device() *dram.Device { return c.dev }
@@ -285,6 +302,7 @@ func (c *Controller) popCompletions(now int64) {
 		for cs.compHead < len(cs.completions) && cs.completions[cs.compHead].Finish <= now {
 			req := cs.completions[cs.compHead]
 			req.Done = true
+			c.unblocks++
 			c.stats.ReadsServed++
 			c.stats.ReadLatencySum += req.Finish - req.Arrive
 			cs.completions[cs.compHead] = nil
@@ -295,6 +313,7 @@ func (c *Controller) popCompletions(now int64) {
 	for c.bufHead < len(c.bufServed) && c.bufServed[c.bufHead].Finish <= now {
 		req := c.bufServed[c.bufHead]
 		req.Done = true
+		c.unblocks++
 		c.stats.RNGServed++
 		c.stats.RNGFromBuffer++
 		c.stats.RNGLatencySum += req.Finish - req.Arrive
@@ -671,6 +690,7 @@ func (c *Controller) creditBits(chIdx int, bits float64, now int64) {
 			if head.BitsRemaining() == 0 {
 				head.Finish = now
 				head.Done = true
+				c.unblocks++
 				c.stats.RNGServed++
 				c.stats.RNGLatencySum += now - head.Arrive
 				// Shift rather than reslice so the queue keeps its
@@ -721,6 +741,7 @@ func (c *Controller) serveRegular(chIdx int, now int64) {
 			req := cs.writeQ[idx]
 			c.issueFor(chIdx, req, now)
 			if req.Done {
+				c.unblocks++
 				n := len(cs.writeQ)
 				copy(cs.writeQ[idx:], cs.writeQ[idx+1:])
 				cs.writeQ[n-1] = nil
@@ -738,6 +759,7 @@ func (c *Controller) serveRegular(chIdx int, now int64) {
 			req := cs.readQ[idx]
 			c.issueFor(chIdx, req, now)
 			if req.Finish > 0 { // column command issued
+				c.unblocks++
 				c.cfg.Scheduler.OnServed(req, chIdx)
 				n := len(cs.readQ)
 				copy(cs.readQ[idx:], cs.readQ[idx+1:])

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram is a sparse counting histogram over integer observations,
+// built for the serving layer's request latencies: ticks are integers,
+// so counting multiplicities per distinct value loses nothing, and the
+// memory cost is O(distinct values) instead of O(observations). The
+// percentiles it reports are exact nearest-rank quantiles — for any
+// input they equal sorting every observation and indexing (the
+// sort-based reference the property tests compare against), not an
+// approximation like fixed-bucket or mergeable sketches.
+//
+// The zero value is an empty histogram ready for use. Add is O(1)
+// amortized; Percentile sorts the distinct values on first use after a
+// mutation (O(k log k) for k distinct values) and serves subsequent
+// calls from the cached order.
+type Histogram struct {
+	counts map[int64]int64
+	keys   []int64 // every distinct value; sorted when sorted is true
+	sorted bool
+	n      int64
+	sum    int64
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int64) {
+	if h.counts == nil {
+		h.counts = make(map[int64]int64)
+	}
+	if h.counts[v] == 0 {
+		h.keys = append(h.keys, v)
+		h.sorted = false
+	}
+	h.counts[v]++
+	h.n++
+	h.sum += v
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean; 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Bins returns the number of distinct observed values — the histogram's
+// memory footprint in entries.
+func (h *Histogram) Bins() int { return len(h.keys) }
+
+// Reset empties the histogram, keeping its allocations for reuse.
+func (h *Histogram) Reset() {
+	for _, k := range h.keys {
+		delete(h.counts, k)
+	}
+	h.keys = h.keys[:0]
+	h.sorted = true
+	h.n, h.sum = 0, 0
+}
+
+// Percentile returns the q-quantile by the nearest-rank method: the
+// smallest observed value whose cumulative count reaches ceil(q*n),
+// exactly what indexing a fully sorted copy of the observations would
+// return. It returns 0 for an empty histogram.
+func (h *Histogram) Percentile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.keys, func(i, j int) bool { return h.keys[i] < h.keys[j] })
+		h.sorted = true
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum int64
+	for _, k := range h.keys {
+		cum += h.counts[k]
+		if cum >= rank {
+			return float64(k)
+		}
+	}
+	return float64(h.keys[len(h.keys)-1])
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refPercentile is the sort-based nearest-rank reference the serving
+// layer used before the streaming histogram: sort every observation and
+// index at ceil(q*n)-1, clamped.
+func refPercentile(vals []int64, q float64) float64 {
+	s := make([]float64, len(vals))
+	for i, v := range vals {
+		s[i] = float64(v)
+	}
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+var quantiles = []float64{0, 0.001, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999, 1}
+
+// TestHistogramMatchesSortReference is the exactness property test: on
+// random integer latency sets — heavy ties, tiny N, adversarial value
+// ranges — every quantile of the histogram must equal the sort-based
+// reference bit for bit, because the serve figures' byte-identity
+// depends on it.
+func TestHistogramMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(200)
+		switch trial {
+		case 0:
+			n = 1
+		case 1:
+			n = 2
+		}
+		// Small value domains force ties; large ones force spread.
+		domain := int64(1) << uint(1+rng.Intn(20))
+		vals := make([]int64, n)
+		var h Histogram
+		for i := range vals {
+			vals[i] = rng.Int63n(domain)
+			h.Add(vals[i])
+		}
+		if h.N() != int64(n) {
+			t.Fatalf("trial %d: N=%d, want %d", trial, h.N(), n)
+		}
+		for _, q := range quantiles {
+			want := 0.0
+			if n > 0 {
+				want = refPercentile(vals, q)
+			}
+			got := h.Percentile(q)
+			if got != want {
+				t.Fatalf("trial %d (n=%d, domain=%d): P%.3f = %g, want %g",
+					trial, n, domain, q, got, want)
+			}
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		if h.Sum() != sum {
+			t.Fatalf("trial %d: Sum=%d, want %d", trial, h.Sum(), sum)
+		}
+	}
+}
+
+// TestHistogramInterleavedQueries checks that percentile queries between
+// mutations (which invalidate the sorted-key cache) stay exact.
+func TestHistogramInterleavedQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	var vals []int64
+	for i := 0; i < 500; i++ {
+		v := rng.Int63n(64)
+		vals = append(vals, v)
+		h.Add(v)
+		if i%17 == 0 {
+			q := quantiles[i%len(quantiles)]
+			if got, want := h.Percentile(q), refPercentile(vals, q); got != want {
+				t.Fatalf("after %d adds: P%.3f = %g, want %g", i+1, q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramEmptyAndReset pins the empty-histogram contract and that
+// Reset returns the histogram to it.
+func TestHistogramEmptyAndReset(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.5) != 0 || h.Mean() != 0 || h.N() != 0 || h.Bins() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Add(10)
+	h.Add(20)
+	h.Reset()
+	if h.Percentile(0.5) != 0 || h.Mean() != 0 || h.N() != 0 || h.Bins() != 0 || h.Sum() != 0 {
+		t.Fatal("reset histogram must report zeros")
+	}
+	h.Add(5)
+	if h.Percentile(1) != 5 || h.Mean() != 5 {
+		t.Fatal("histogram must be reusable after Reset")
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
+	"drstrange/internal/metrics"
 	"drstrange/internal/trng"
 	"drstrange/internal/workload"
 )
@@ -117,6 +117,18 @@ type ServePoint struct {
 	P95       float64
 	P99       float64
 	P999      float64
+
+	// Streaming-pipeline cost counters (the memory story of the point,
+	// not part of the rendered figure). PeakOutstanding is the maximum
+	// number of injected requests alive at once — the pipeline's heap
+	// high-water mark in requests, bounded by queueing depth rather than
+	// window length. RecycledRequests counts injections served from the
+	// completion freelist. LatencyBins is the number of distinct latency
+	// values the percentile histogram held (its memory in entries,
+	// versus one slice element per completion before streaming metrics).
+	PeakOutstanding  int64
+	RecycledRequests int64
+	LatencyBins      int
 }
 
 // ServeLoad sweeps the offered loads (aggregate Mb/s of requested
@@ -125,7 +137,13 @@ type ServePoint struct {
 // seeded System, so results are byte-identical at any worker count and
 // under either engine.
 func ServeLoad(cfg ServeConfig, offeredMbps []float64) []ServePoint {
-	out, _ := ServeLoadCtx(context.Background(), cfg, offeredMbps)
+	out, err := ServeLoadCtx(context.Background(), cfg, offeredMbps)
+	if err != nil {
+		// The background context never cancels, so this is a real
+		// configuration error (bad arrival name) — fail as loudly as the
+		// pre-error-path code did.
+		panic(fmt.Sprintf("sim: %v", err))
+	}
 	return out
 }
 
@@ -137,6 +155,11 @@ func ServeLoad(cfg ServeConfig, offeredMbps []float64) []ServePoint {
 // points are never exposed.
 func ServeLoadCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) ([]ServePoint, error) {
 	cfg.normalize()
+	// Vet the arrival process once, up front: a bad name must surface as
+	// an error from the sweep, not a panic inside a worker goroutine.
+	if _, err := workload.NewArrivals(cfg.Arrival, 1, cfg.Burstiness, 0); err != nil {
+		return nil, err
+	}
 	out := make([]ServePoint, len(offeredMbps))
 	parDoCtx(ctx, len(offeredMbps), func(i int) {
 		out[i] = servePoint(ctx, cfg, offeredMbps[i])
@@ -160,6 +183,25 @@ const serveTarget = int64(1) << 40
 // sliced walk is bit-identical to one unsliced call).
 const serveSlice = 1 << 13
 
+// servePoint measures one offered-load point as a constant-memory
+// streaming pipeline. Nothing in it scales with the window length or
+// the offered load, only with the number of requests simultaneously
+// outstanding:
+//
+//   - Arrivals are generated lazily, one StepTo slice ahead, instead of
+//     materializing the whole warmup+window schedule up front.
+//   - A completion hook folds each finished request into running
+//     accumulators (counters and a sparse latency histogram) the moment
+//     its last word completes, and the handle is recycled through the
+//     System's freelist instead of living until the end of the run.
+//   - The drain phase polls the O(1) outstanding count instead of
+//     re-scanning a request slice.
+//
+// The figure bytes are pinned against the old pre-materializing,
+// sort-based collection (TestServePointMatchesReferenceCollection and
+// the testdata/serve_golden.txt pin): the arrival draw stream, the
+// injection schedule, and the nearest-rank percentiles are all exactly
+// what the reference produced.
 func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	if mbps <= 0 {
 		panic("sim: offered load must be positive")
@@ -175,7 +217,7 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	seed := cfg.Seed ^ math.Float64bits(mbps)
 	arr, err := workload.NewArrivals(cfg.Arrival, ratePerTick, cfg.Burstiness, seed)
 	if err != nil {
-		panic(fmt.Sprintf("sim: %v", err))
+		panic(fmt.Sprintf("sim: %v", err)) // unreachable: ServeLoadCtx vetted the name
 	}
 
 	sys := NewSystem(RunConfig{
@@ -189,18 +231,37 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	})
 
 	end := cfg.WarmupTicks + cfg.WindowTicks
-	var reqs []*InjectedRequest
-	for i := 0; ; i++ {
-		if i&4095 == 0 && ctx.Err() != nil {
-			return ServePoint{}
+	p := ServePoint{OfferedMbps: mbps}
+	var (
+		hist              metrics.Histogram
+		sumTicks          int64
+		bufWords          int64
+		doneWords         int64
+		completedInWindow int64
+	)
+	sys.OnInjectionComplete(func(r *InjectedRequest) {
+		if r.FinishTick >= cfg.WarmupTicks && r.FinishTick < end {
+			completedInWindow++
 		}
-		t := arr.NextArrival()
-		if t >= end {
-			break
+		if r.SubmitTick < cfg.WarmupTicks {
+			return // warmup request: load, not measurement
 		}
-		reqs = append(reqs, sys.InjectRNG(i%cfg.Clients, t, words))
-	}
+		p.Completed++
+		l := r.Latency()
+		hist.Add(l)
+		sumTicks += l
+		bufWords += int64(r.BufferWords)
+		doneWords += int64(r.Words)
+	})
 
+	// Advance in bounded slices, feeding each slice's arrivals to the
+	// injection port just before stepping across it. The StepTo slicing
+	// invariant keeps the walk bit-identical to one unsliced call, and
+	// injections carry timestamps, so chunked feeding is equivalent to
+	// the old whole-window pre-generation — minus the O(all arrivals)
+	// schedule.
+	chunk := workload.NewChunked(arr)
+	reqIdx := 0
 	for sys.Now() < end {
 		if ctx.Err() != nil {
 			return ServePoint{}
@@ -209,6 +270,13 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		if target > end-1 {
 			target = end - 1
 		}
+		chunk.TakeThrough(target, end, func(tick int64) {
+			if tick >= cfg.WarmupTicks {
+				p.Submitted++
+			}
+			sys.InjectRNG(reqIdx%cfg.Clients, tick, words)
+			reqIdx++
+		})
 		sys.StepTo(target)
 	}
 	// Drain: an open-loop measurement must not censor slow requests,
@@ -216,71 +284,33 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	// backlog (arrivals stopped at end, so it always drains; 20 extra
 	// windows covers offered loads far beyond capacity).
 	horizon := end + 20*cfg.WindowTicks
-	for sys.Now() < horizon {
+	for sys.OutstandingInjections() > 0 && sys.Now() < horizon {
 		if ctx.Err() != nil {
 			return ServePoint{}
-		}
-		done := true
-		for _, r := range reqs {
-			if !r.Done {
-				done = false
-				break
-			}
-		}
-		if done {
-			break
 		}
 		sys.StepTo(sys.Now() + 4095)
 	}
 
-	p := ServePoint{OfferedMbps: mbps}
-	var lats []float64
-	var sum float64
-	var bufWords, doneWords int
-	var achievedBits float64
-	for _, r := range reqs {
-		if r.Done && r.FinishTick >= cfg.WarmupTicks && r.FinishTick < end {
-			achievedBits += reqBits
-		}
-		if r.SubmitTick < cfg.WarmupTicks {
-			continue // warmup request: load, not measurement
-		}
-		p.Submitted++
-		if !r.Done {
-			continue
-		}
-		p.Completed++
-		l := float64(r.Latency())
-		lats = append(lats, l)
-		sum += l
-		bufWords += r.BufferWords
-		doneWords += r.Words
-	}
+	achievedBits := float64(completedInWindow) * reqBits
 	p.AchievedMbps = achievedBits / float64(cfg.WindowTicks) * trng.MemCyclesPerSecond / 1e6
 	if doneWords > 0 {
 		p.BufferHitRate = float64(bufWords) / float64(doneWords)
 	}
-	if len(lats) > 0 {
-		sort.Float64s(lats)
-		p.MeanTicks = sum / float64(len(lats))
-		p.P50 = percentile(lats, 0.50)
-		p.P95 = percentile(lats, 0.95)
-		p.P99 = percentile(lats, 0.99)
-		p.P999 = percentile(lats, 0.999)
+	if hist.N() > 0 {
+		// Integer tick latencies summed as integers equal the reference's
+		// float64 accumulation exactly (every partial sum is far below
+		// 2^53), and the histogram's nearest-rank quantiles are defined
+		// to match sort-and-index bit for bit.
+		p.MeanTicks = float64(sumTicks) / float64(hist.N())
+		p.P50 = hist.Percentile(0.50)
+		p.P95 = hist.Percentile(0.95)
+		p.P99 = hist.Percentile(0.99)
+		p.P999 = hist.Percentile(0.999)
 	}
+	p.PeakOutstanding = int64(sys.PeakOutstandingInjections())
+	p.RecycledRequests = sys.RecycledInjections()
+	p.LatencyBins = hist.Bins()
 	return p
-}
-
-// percentile returns the q-quantile of sorted (nearest-rank method).
-func percentile(sorted []float64, q float64) float64 {
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }
 
 // ServeCurves runs the offered-load sweep for each design and renders
@@ -288,37 +318,53 @@ func percentile(sorted []float64, q float64) float64 {
 // metrics (latencies in ns). This is what cmd/rngbench prints and what
 // BenchmarkServeLoad tracks.
 func ServeCurves(designs []Design, cfg ServeConfig, offeredMbps []float64) []Figure {
-	figs, _ := ServeCurvesCtx(context.Background(), designs, cfg, offeredMbps)
+	figs, err := ServeCurvesCtx(context.Background(), designs, cfg, offeredMbps)
+	if err != nil {
+		// Uncancellable context: the error is a real configuration
+		// problem, not an abort.
+		panic(fmt.Sprintf("sim: %v", err))
+	}
 	return figs
 }
 
 // ServeCurvesCtx is ServeCurves under a context: designs fan out across
 // the worker pool and every underlying sweep aborts promptly on
-// cancellation, returning (nil, ctx.Err()).
+// cancellation, returning (nil, ctx.Err()). A real (non-cancellation)
+// error from any design's sweep is propagated — the first one in design
+// order, deterministically — instead of leaving a zero Figure in the
+// result.
 func ServeCurvesCtx(ctx context.Context, designs []Design, cfg ServeConfig, offeredMbps []float64) ([]Figure, error) {
 	cfg.normalize()
 	figs := make([]Figure, len(designs))
+	errs := make([]error, len(designs))
 	parDoCtx(ctx, len(designs), func(i int) {
 		c := cfg
 		c.Design = designs[i]
-		figs[i], _ = ServeCurveCtx(ctx, c, offeredMbps)
+		figs[i], _, errs[i] = ServeCurveCtx(ctx, c, offeredMbps)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return figs, nil
 }
 
 // ServeCurveCtx sweeps the offered loads for cfg.Design alone and
-// renders the single latency-vs-load Figure. It is the unit ServeCurves
-// fans out, exported so callers that need per-design progress (the
-// public scenario API's Stream) can run one design at a time while the
+// renders the single latency-vs-load Figure alongside the measured
+// points (the figure's rows plus the streaming pipeline's cost counters
+// the figure does not print). It is the unit ServeCurves fans out,
+// exported so callers that need per-design progress or per-point stats
+// (the public scenario API) can run one design at a time while the
 // worker pool still bounds the underlying simulations.
-func ServeCurveCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) (Figure, error) {
+func ServeCurveCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) (Figure, []ServePoint, error) {
 	cfg.normalize()
 	points, err := ServeLoadCtx(ctx, cfg, offeredMbps)
 	if err != nil {
-		return Figure{}, err
+		return Figure{}, nil, err
 	}
 	f := Figure{
 		ID: fmt.Sprintf("ServeLoad-%s", cfg.Design),
@@ -348,7 +394,7 @@ func ServeCurveCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) 
 			},
 		})
 	}
-	return f, nil
+	return f, points, nil
 }
 
 func bgName(m workload.Mix) string {

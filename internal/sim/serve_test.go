@@ -1,9 +1,13 @@
 package sim
 
 import (
+	"context"
+	"math"
 	"reflect"
+	"sort"
 	"testing"
 
+	"drstrange/internal/trng"
 	"drstrange/internal/workload"
 )
 
@@ -94,6 +98,189 @@ func TestServeLoadCurveShape(t *testing.T) {
 	}
 	if obl[len(obl)-1].BufferHitRate != 0 {
 		t.Errorf("oblivious design reported buffer hits")
+	}
+}
+
+// servePointReference re-implements the pre-streaming collection path
+// verbatim: materialize every arrival up front, retain every request
+// handle until the end, scan the full slice to detect drain completion,
+// and sort all latencies for the percentiles. It exists only as the
+// differential oracle for the streaming pipeline.
+func servePointReference(cfg ServeConfig, mbps float64) ServePoint {
+	cfg.normalize()
+	words := (cfg.RequestBytes + 7) / 8
+	reqBits := float64(cfg.RequestBytes * 8)
+	ratePerTick := mbps * 1e6 / trng.MemCyclesPerSecond / reqBits
+	seed := cfg.Seed ^ math.Float64bits(mbps)
+	arr, err := workload.NewArrivals(cfg.Arrival, ratePerTick, cfg.Burstiness, seed)
+	if err != nil {
+		panic(err)
+	}
+	sys := NewSystem(RunConfig{
+		Design:       cfg.Design,
+		Mix:          cfg.Background,
+		Mech:         cfg.Mech,
+		BufferWords:  cfg.BufferWords,
+		Instructions: serveTarget,
+		Seed:         cfg.Seed,
+		Clients:      cfg.Clients,
+	})
+	end := cfg.WarmupTicks + cfg.WindowTicks
+	var reqs []*InjectedRequest
+	for i := 0; ; i++ {
+		t := arr.NextArrival()
+		if t >= end {
+			break
+		}
+		reqs = append(reqs, sys.InjectRNG(i%cfg.Clients, t, words))
+	}
+	for sys.Now() < end {
+		target := sys.Now() + serveSlice
+		if target > end-1 {
+			target = end - 1
+		}
+		sys.StepTo(target)
+	}
+	horizon := end + 20*cfg.WindowTicks
+	for sys.Now() < horizon {
+		done := true
+		for _, r := range reqs {
+			if !r.Done {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		sys.StepTo(sys.Now() + 4095)
+	}
+
+	p := ServePoint{OfferedMbps: mbps}
+	var lats []float64
+	var sum float64
+	var bufWords, doneWords int
+	var achievedBits float64
+	for _, r := range reqs {
+		if r.Done && r.FinishTick >= cfg.WarmupTicks && r.FinishTick < end {
+			achievedBits += reqBits
+		}
+		if r.SubmitTick < cfg.WarmupTicks {
+			continue
+		}
+		p.Submitted++
+		if !r.Done {
+			continue
+		}
+		p.Completed++
+		l := float64(r.Latency())
+		lats = append(lats, l)
+		sum += l
+		bufWords += r.BufferWords
+		doneWords += r.Words
+	}
+	p.AchievedMbps = achievedBits / float64(cfg.WindowTicks) * trng.MemCyclesPerSecond / 1e6
+	if doneWords > 0 {
+		p.BufferHitRate = float64(bufWords) / float64(doneWords)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		refPct := func(q float64) float64 {
+			idx := int(math.Ceil(q*float64(len(lats)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(lats) {
+				idx = len(lats) - 1
+			}
+			return lats[idx]
+		}
+		p.MeanTicks = sum / float64(len(lats))
+		p.P50 = refPct(0.50)
+		p.P95 = refPct(0.95)
+		p.P99 = refPct(0.99)
+		p.P999 = refPct(0.999)
+	}
+	return p
+}
+
+// TestServePointMatchesReferenceCollection is the streaming pipeline's
+// equivalence gate: at every load regime — buffered low load, near
+// capacity, and 2x over capacity (where the drain horizon and the
+// backpressure FIFO matter) — the chunked-injection, histogram-based,
+// recycling pipeline must reproduce the pre-streaming collection bit
+// for bit, under both engines and with background contention.
+func TestServePointMatchesReferenceCollection(t *testing.T) {
+	cfg := serveTestConfig(DesignDRStrange)
+	cfg.Background = workload.Mix{Name: "mcf", Apps: []string{"mcf"}}
+	loads := []float64{320, 2560, 5120}
+	for _, engine := range []string{EngineEvent, EngineTicked} {
+		underEngine(engine, func() {
+			got := ServeLoad(cfg, loads)
+			for i, mbps := range loads {
+				want := servePointReference(cfg, mbps)
+				g := got[i]
+				// The reference cannot measure the pipeline-cost fields;
+				// blank them so the comparison covers the measurement.
+				g.PeakOutstanding, g.RecycledRequests, g.LatencyBins = 0, 0, 0
+				if !reflect.DeepEqual(g, want) {
+					t.Errorf("%s @%gMb/s: streaming point differs from reference\n got: %+v\nwant: %+v",
+						engine, mbps, g, want)
+				}
+			}
+		})
+	}
+}
+
+// TestServeLoadPipelineStats pins the memory story the streaming
+// pipeline reports per point: the outstanding-request peak is set by
+// queueing (here the cold-start transient), NOT by the window length —
+// tripling the window triples the submitted count but leaves the peak
+// untouched — recycling absorbs the rest, and the histogram holds far
+// fewer bins than observations.
+func TestServeLoadPipelineStats(t *testing.T) {
+	cfg := serveTestConfig(DesignDRStrange)
+	short := ServeLoad(cfg, []float64{1280})[0]
+	cfg.WindowTicks *= 3
+	long := ServeLoad(cfg, []float64{1280})[0]
+	if short.PeakOutstanding <= 0 {
+		t.Fatalf("PeakOutstanding = %d, want > 0", short.PeakOutstanding)
+	}
+	if long.Submitted < 2*short.Submitted {
+		t.Fatalf("tripled window did not grow the load (%d -> %d submitted)", short.Submitted, long.Submitted)
+	}
+	// The peak is a max over random queue excursions, so it can creep a
+	// few requests as the run lengthens — but it must not track the 3x
+	// window growth.
+	if long.PeakOutstanding > short.PeakOutstanding+short.PeakOutstanding/2 {
+		t.Errorf("PeakOutstanding scales with the window (%d @%d submitted -> %d @%d submitted): memory is not O(outstanding)",
+			short.PeakOutstanding, short.Submitted, long.PeakOutstanding, long.Submitted)
+	}
+	for _, pt := range []ServePoint{short, long} {
+		if pt.RecycledRequests == 0 {
+			t.Error("no request handles were recycled")
+		}
+		if pt.LatencyBins <= 0 || int64(pt.LatencyBins) > pt.Completed {
+			t.Errorf("LatencyBins = %d with %d completions", pt.LatencyBins, pt.Completed)
+		}
+	}
+}
+
+// TestServeLoadCtxRejectsBadArrival: an invalid arrival process must
+// surface as an error from the sweep entry points (and propagate
+// through the curve fan-out), not panic a worker or yield zero figures.
+func TestServeLoadCtxRejectsBadArrival(t *testing.T) {
+	cfg := serveTestConfig(DesignDRStrange)
+	cfg.Arrival = "lumpy"
+	if _, err := ServeLoadCtx(context.Background(), cfg, []float64{320}); err == nil {
+		t.Fatal("ServeLoadCtx accepted an unknown arrival process")
+	}
+	figs, err := ServeCurvesCtx(context.Background(), []Design{DesignOblivious, DesignDRStrange}, cfg, []float64{320})
+	if err == nil {
+		t.Fatal("ServeCurvesCtx swallowed the arrival error")
+	}
+	if figs != nil {
+		t.Fatalf("ServeCurvesCtx returned figures alongside the error: %+v", figs)
 	}
 }
 

@@ -50,6 +50,26 @@ type System struct {
 	waiting     []*InjectedRequest // arrived, not yet fully submitted (FIFO)
 	waitHead    int
 	outstanding []injWord // submitted words in flight
+
+	// Completion-hook state (OnInjectionComplete): onInjDone is invoked
+	// as each injected request's last word completes, after which the
+	// handle is recycled through irFree — the serving layer's request
+	// pool, mirroring the controller's own Request freelist. irFresh
+	// holds never-used handles carved from block allocations, so the
+	// run's allocation count is O(peak outstanding / block size).
+	onInjDone   func(*InjectedRequest)
+	irFree      []*InjectedRequest // completed handles, ready for reuse
+	irFresh     []*InjectedRequest // block-allocated, never handed out
+	injLive     int                // injected requests not yet complete
+	injPeak     int                // high-water mark of injLive
+	injRecycled int64              // InjectRNG calls served from irFree
+
+	// Cached all-cores-stalled bound for nextEventTick: when every core
+	// reported the far-future sentinel, the cores stay stalled until the
+	// controller's unblock-event counter moves, so the per-event core
+	// scan can be skipped in between.
+	coresStalled   bool
+	coresStalledEv int64
 }
 
 // InjectedRequest is one externally submitted RNG request flowing
@@ -222,17 +242,44 @@ func (s *System) execTick(t int64) bool {
 
 // nextEventTick lower-bounds the next tick at which any component —
 // controller, core, or the injection port — can change state.
+//
+// The core scan is the per-event cost that grows with the mix, so it is
+// bounded two ways: any core able to act short-circuits to now+1 (no
+// component bound can be lower), and a scan that finds every core
+// stalled is cached against the controller's unblock-event counter — a
+// fully stalled core can only be freed by a request completing or a
+// queue slot opening, both of which bump that counter, so until it
+// moves the cores are provably still stalled and the scan is skipped.
 func (s *System) nextEventTick(now int64) int64 {
-	next := s.ctrl.NextEventTick(now)
-	for _, c := range s.cores {
-		if t := c.NextEventTick(now); t < next {
-			next = t
-		}
-	}
 	if s.waitHead < len(s.waiting) {
 		// A submission blocked on RNG-queue backpressure retries every
 		// tick: queue space frees inside controller ticks.
 		return now + 1
+	}
+	next := int64(1) << 62
+	if len(s.cores) > 0 {
+		ev := s.ctrl.UnblockEvents()
+		if !s.coresStalled || ev != s.coresStalledEv {
+			s.coresStalled = false
+			coreMin := int64(1) << 62
+			for _, c := range s.cores {
+				if t := c.NextEventTick(now); t < coreMin {
+					coreMin = t
+					if coreMin <= now+1 {
+						return now + 1
+					}
+				}
+			}
+			if coreMin < next {
+				next = coreMin
+			}
+			if coreMin == int64(1)<<62 {
+				s.coresStalled, s.coresStalledEv = true, ev
+			}
+		}
+	}
+	if t := s.ctrl.NextEventTick(now); t < next {
+		next = t
 	}
 	if s.schedHead < len(s.sched) {
 		if t := s.sched[s.schedHead].SubmitTick; t < next {
@@ -242,11 +289,41 @@ func (s *System) nextEventTick(now int64) int64 {
 	return next
 }
 
+// OnInjectionComplete registers fn, called exactly once per injected
+// request, at the tick its last word completes (from inside Step/StepTo,
+// with the completion fields final). Registering a hook switches the
+// injection port to recycling mode: after fn returns, the request
+// handle goes back to an internal freelist and later InjectRNG calls
+// reuse it, so the port's memory stays O(outstanding requests) however
+// long the run is. The contract mirrors MemPort recycling: fn must fold
+// what it needs into its own accumulators and must not retain the
+// pointer or call back into the System. Without a hook, handles stay
+// valid until the caller drops them (the legacy contract).
+func (s *System) OnInjectionComplete(fn func(*InjectedRequest)) {
+	s.onInjDone = fn
+}
+
+// OutstandingInjections reports, in O(1), the number of injected
+// requests that have not yet completed: scheduled, waiting on
+// backpressure, or with words in flight. Drain loops poll this instead
+// of scanning their request slice.
+func (s *System) OutstandingInjections() int { return s.injLive }
+
+// PeakOutstandingInjections reports the high-water mark of
+// OutstandingInjections over the run so far — the injection port's
+// memory footprint in requests.
+func (s *System) PeakOutstandingInjections() int { return s.injPeak }
+
+// RecycledInjections reports how many InjectRNG calls were served from
+// the completion freelist rather than a fresh allocation.
+func (s *System) RecycledInjections() int64 { return s.injRecycled }
+
 // InjectRNG schedules an RNG request of words 64-bit words from client
 // (0 <= client < cfg.Clients) arriving at tick at. Arrivals must be
 // scheduled in non-decreasing time order, at or after the current
 // tick. The returned handle's completion fields fill in as the System
-// steps past the corresponding events.
+// steps past the corresponding events; with an OnInjectionComplete hook
+// registered the handle is only valid until the hook fires for it.
 func (s *System) InjectRNG(client int, at int64, words int) *InjectedRequest {
 	if client < 0 || client >= s.cfg.Clients {
 		panic(fmt.Sprintf("sim: client %d out of range (Clients=%d)", client, s.cfg.Clients))
@@ -260,8 +337,32 @@ func (s *System) InjectRNG(client int, at int64, words int) *InjectedRequest {
 	if n := len(s.sched); n > 0 && at < s.sched[n-1].SubmitTick {
 		panic("sim: injections must be scheduled in non-decreasing time order")
 	}
-	ir := &InjectedRequest{Client: client, Words: words, SubmitTick: at}
+	var ir *InjectedRequest
+	if n := len(s.irFree); n > 0 {
+		ir = s.irFree[n-1]
+		s.irFree[n-1] = nil
+		s.irFree = s.irFree[:n-1]
+		s.injRecycled++
+	} else {
+		if len(s.irFresh) == 0 {
+			// Refill in blocks: the run's allocation count is
+			// O(peak outstanding / block), not one per request.
+			block := make([]InjectedRequest, 64)
+			for i := range block {
+				s.irFresh = append(s.irFresh, &block[i])
+			}
+		}
+		n := len(s.irFresh)
+		ir = s.irFresh[n-1]
+		s.irFresh[n-1] = nil
+		s.irFresh = s.irFresh[:n-1]
+	}
+	*ir = InjectedRequest{Client: client, Words: words, SubmitTick: at}
 	s.sched = append(s.sched, ir)
+	s.injLive++
+	if s.injLive > s.injPeak {
+		s.injPeak = s.injLive
+	}
 	return ir
 }
 
@@ -327,6 +428,11 @@ func (s *System) collectInjections() {
 		}
 		if ir.wordsDone == ir.Words {
 			ir.Done = true
+			s.injLive--
+			if s.onInjDone != nil {
+				s.onInjDone(ir)
+				s.irFree = append(s.irFree, ir)
+			}
 		}
 		s.ctrl.Recycle(w.req)
 	}

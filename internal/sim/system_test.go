@@ -2,6 +2,7 @@ package sim
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"drstrange/internal/workload"
@@ -145,6 +146,80 @@ func TestSystemInjectionEngineDifferential(t *testing.T) {
 		if served != len(event) {
 			t.Errorf("%s: %d/%d requests completed", tc.name, served, len(event))
 		}
+	}
+}
+
+// TestSystemCompletionHookContract pins the OnInjectionComplete
+// contract: the hook fires exactly once per injected request, at its
+// completion, with the completion fields final and identical to what a
+// hook-less run's retained handles would show; the O(1) outstanding
+// count drains to zero; and recycled handles keep the port's live-set
+// bounded (freelist reuse kicks in once completions overlap arrivals).
+func TestSystemCompletionHookContract(t *testing.T) {
+	newSys := func() *System {
+		return NewSystem(RunConfig{
+			Design:       DesignDRStrange,
+			Instructions: serveTarget,
+			Clients:      4,
+		})
+	}
+	// drive feeds the same injection schedule in batches interleaved
+	// with stepping (so completions overlap later arrivals, the
+	// recycling regime) and drains the system. onInject observes each
+	// returned handle.
+	drive := func(sys *System, onInject func(*InjectedRequest)) {
+		at, i := int64(100), 0
+		for phase := 0; phase < 4; phase++ {
+			for n := 0; n < 50; n++ {
+				onInject(sys.InjectRNG(i%4, at, 1+i%2))
+				i++
+				at += int64(13 + i%37)
+			}
+			sys.StepTo(at - 1) // leave now == at: the next batch starts there
+		}
+		sys.StepTo(at + 50_000)
+	}
+
+	// Retained-handle reference run (no hook): handles stay valid.
+	ref := newSys()
+	var handles []*InjectedRequest
+	drive(ref, func(r *InjectedRequest) { handles = append(handles, r) })
+	want := make([]InjectedRequest, len(handles))
+	for i, r := range handles {
+		if !r.Done {
+			t.Fatalf("reference request %d never completed", i)
+		}
+		want[i] = *r
+	}
+
+	sys := newSys()
+	var got []InjectedRequest
+	sys.OnInjectionComplete(func(r *InjectedRequest) {
+		if !r.Done || r.FinishTick < r.SubmitTick {
+			t.Errorf("hook fired with non-final fields: %+v", *r)
+		}
+		got = append(got, *r)
+	})
+	drive(sys, func(*InjectedRequest) {})
+	if sys.OutstandingInjections() != 0 {
+		t.Fatalf("OutstandingInjections = %d after drain, want 0", sys.OutstandingInjections())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %d times for %d requests", len(got), len(want))
+	}
+	// Hook order is completion order; the reference is injection order.
+	// SubmitTicks are unique here, so sort both by SubmitTick and
+	// require identical records.
+	sort.Slice(got, func(i, j int) bool { return got[i].SubmitTick < got[j].SubmitTick })
+	sort.Slice(want, func(i, j int) bool { return want[i].SubmitTick < want[j].SubmitTick })
+	if !reflect.DeepEqual(got, want) {
+		t.Error("hook-observed completions differ from retained-handle completions")
+	}
+	if sys.RecycledInjections() == 0 {
+		t.Error("no handles were recycled despite completions overlapping arrivals")
+	}
+	if peak := sys.PeakOutstandingInjections(); peak <= 0 || peak >= 200 {
+		t.Errorf("PeakOutstandingInjections = %d, want in (0, 200): the live set must stay bounded", peak)
 	}
 }
 

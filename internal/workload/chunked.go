@@ -1,0 +1,57 @@
+package workload
+
+// ChunkedArrivals adapts an Arrivals stream for bounded look-ahead
+// consumption: the serving layer interleaves arrival generation with
+// simulation, pulling only the arrivals due inside the next StepTo
+// slice instead of materializing the whole window's schedule up front.
+// Peek exposes the next arrival tick without consuming it, so a
+// consumer can decide "due in this slice?" before committing, and the
+// draw stream is identical to calling NextArrival directly — one
+// underlying draw per arrival, in order — which keeps chunked and
+// up-front consumers deterministic peers.
+type ChunkedArrivals struct {
+	src    Arrivals
+	next   int64
+	primed bool
+}
+
+// NewChunked wraps src with one-arrival look-ahead. No draw happens
+// until the first Peek or Next.
+func NewChunked(src Arrivals) *ChunkedArrivals {
+	return &ChunkedArrivals{src: src}
+}
+
+// Peek returns the tick of the next arrival without consuming it.
+func (c *ChunkedArrivals) Peek() int64 {
+	if !c.primed {
+		c.next = c.src.NextArrival()
+		c.primed = true
+	}
+	return c.next
+}
+
+// Next consumes and returns the next arrival tick.
+func (c *ChunkedArrivals) Next() int64 {
+	t := c.Peek()
+	c.primed = false
+	return t
+}
+
+// TakeThrough consumes every arrival with tick <= limit and tick <
+// stop, in order, invoking fn for each — the chunk a serving slice
+// [now, limit] admits, with stop as the hard end of arrivals (the
+// measurement window's close). It returns the number consumed. The
+// first arrival at or beyond stop stays buffered and is never drawn
+// past, so generation cost tracks the consumed horizon, not the
+// process's future.
+func (c *ChunkedArrivals) TakeThrough(limit, stop int64, fn func(tick int64)) int {
+	n := 0
+	for {
+		t := c.Peek()
+		if t >= stop || t > limit {
+			return n
+		}
+		fn(c.Next())
+		n++
+	}
+}

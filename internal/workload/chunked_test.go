@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestChunkedArrivalsMatchDirectStream is the determinism contract of
+// the chunked adapter: consuming a process through Peek/Next/TakeThrough
+// in arbitrary slices must yield exactly the arrivals (and underlying
+// draws) that calling NextArrival directly would.
+func TestChunkedArrivalsMatchDirectStream(t *testing.T) {
+	const end = int64(50_000)
+	for _, name := range ArrivalNames() {
+		direct, err := NewArrivals(name, 0.02, 0.3, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int64
+		for {
+			tick := direct.NextArrival()
+			if tick >= end {
+				break
+			}
+			want = append(want, tick)
+		}
+
+		src, _ := NewArrivals(name, 0.02, 0.3, 11)
+		ch := NewChunked(src)
+		var got []int64
+		// Uneven slice widths, including empty slices, to exercise the
+		// buffering across chunk boundaries.
+		for limit := int64(0); ; limit += 777 {
+			ch.TakeThrough(limit, end, func(tick int64) { got = append(got, tick) })
+			if limit >= end {
+				break
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: chunked stream yielded %d arrivals, direct %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: arrival %d differs: chunked %d, direct %d", name, i, got[i], want[i])
+			}
+		}
+		// The first arrival at or past the stop stays buffered: Peek must
+		// expose it without a further draw.
+		if ch.Peek() < end {
+			t.Fatalf("%s: Peek after exhaustion = %d, want >= %d", name, ch.Peek(), end)
+		}
+	}
+}
+
+// TestChunkedArrivalsPeekIdempotent checks that Peek does not consume.
+func TestChunkedArrivalsPeekIdempotent(t *testing.T) {
+	src, _ := NewArrivals(ArrivalPoisson, 0.05, 0, 3)
+	ch := NewChunked(src)
+	a, b := ch.Peek(), ch.Peek()
+	if a != b {
+		t.Fatalf("Peek consumed: %d then %d", a, b)
+	}
+	if n := ch.Next(); n != a {
+		t.Fatalf("Next = %d, want peeked %d", n, a)
+	}
+}

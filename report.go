@@ -57,15 +57,40 @@ type RunMetrics struct {
 	Controller ControllerStats `json:"controller"`
 }
 
+// ServePointStats is one offered-load point's streaming-pipeline cost
+// counters: how much memory and recycling the serve path needed to
+// measure the point, alongside the latency figures it produced. The
+// serve pipeline's heap is O(outstanding requests) — PeakOutstanding is
+// that bound measured, independent of window length, and LatencyBins is
+// the exact-percentile histogram's footprint in distinct values (versus
+// one slice element per completed request before streaming metrics).
+type ServePointStats struct {
+	OfferedMbps      float64 `json:"offered_mbps"`
+	Submitted        int64   `json:"submitted"`
+	Completed        int64   `json:"completed"`
+	PeakOutstanding  int64   `json:"peak_outstanding"`
+	RecycledRequests int64   `json:"recycled_requests"`
+	LatencyBins      int     `json:"latency_bins"`
+}
+
+// ServeDesignStats groups one design's per-point pipeline stats, in the
+// scenario's load order.
+type ServeDesignStats struct {
+	Design string            `json:"design"`
+	Points []ServePointStats `json:"points"`
+}
+
 // Report is the result of running a Scenario: one serializable format
 // for every kind. Figure and serve scenarios fill Figures; run
-// scenarios fill Run. Render produces the exact text the pre-API
+// scenarios fill Run; serve scenarios additionally fill Serve with the
+// per-point pipeline stats. Render produces the exact text the pre-API
 // drivers printed, so downstream diffs keep working; JSON produces the
 // machine-readable form.
 type Report struct {
-	Scenario Scenario    `json:"scenario"`
-	Figures  []Figure    `json:"figures,omitempty"`
-	Run      *RunMetrics `json:"run,omitempty"`
+	Scenario Scenario           `json:"scenario"`
+	Figures  []Figure           `json:"figures,omitempty"`
+	Run      *RunMetrics        `json:"run,omitempty"`
+	Serve    []ServeDesignStats `json:"serve,omitempty"`
 }
 
 // JSON serializes the report (two-space indent, trailing newline).
@@ -139,6 +164,23 @@ func renderRun(m *RunMetrics) string {
 		st.ReadsServed, st.WritesServed, st.RNGServed, st.RNGFromBuffer,
 		st.RNGRounds, st.ModeSwitches, st.StarvationOverrides)
 	return b.String()
+}
+
+// serveStatsFrom extracts the public per-point pipeline stats from one
+// design's measured serve points.
+func serveStatsFrom(design string, pts []sim.ServePoint) ServeDesignStats {
+	out := ServeDesignStats{Design: design, Points: make([]ServePointStats, len(pts))}
+	for i, pt := range pts {
+		out.Points[i] = ServePointStats{
+			OfferedMbps:      pt.OfferedMbps,
+			Submitted:        pt.Submitted,
+			Completed:        pt.Completed,
+			PeakOutstanding:  pt.PeakOutstanding,
+			RecycledRequests: pt.RecycledRequests,
+			LatencyBins:      pt.LatencyBins,
+		}
+	}
+	return out
 }
 
 // fromSim converts an internal figure to the public mirror.

@@ -1,0 +1,57 @@
+package drstrange
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"drstrange/internal/sim"
+)
+
+// TestServeGoldenByteIdenticalBothEngines is the streaming pipeline's
+// acceptance gate: testdata/serve_golden.txt was rendered by the
+// pre-streaming collection code (pre-materialized arrivals, retained
+// handles, sort-based percentiles) at a sweep spanning buffered low
+// load through 2x over capacity. The constant-memory pipeline must
+// reproduce it byte for byte through the public serve path, under both
+// engines.
+func TestServeGoldenByteIdenticalBothEngines(t *testing.T) {
+	want, err := os.ReadFile("testdata/serve_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario(KindServe,
+		WithApps("mcf"),
+		WithLoads(320, 1280, 2560, 5120),
+		WithWarmupTicks(10_000),
+		WithWindowTicks(50_000),
+		WithSeed(3),
+	)
+	for _, engine := range []string{sim.EngineEvent, sim.EngineTicked} {
+		s := sc
+		s.Engine = engine
+		rep, err := Run(context.Background(), s)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", engine, err)
+		}
+		if got := rep.Render(); got != string(want) {
+			t.Errorf("%s: serve output differs from the pre-streaming golden\n--- got ---\n%s\n--- want ---\n%s",
+				engine, got, want)
+		}
+		// The serve report additionally carries the pipeline stats the
+		// figure does not print: one entry per design, one point per load.
+		if len(rep.Serve) != 2 {
+			t.Fatalf("%s: Serve stats for %d designs, want 2", engine, len(rep.Serve))
+		}
+		for _, ds := range rep.Serve {
+			if len(ds.Points) != 4 {
+				t.Fatalf("%s/%s: %d stat points, want 4", engine, ds.Design, len(ds.Points))
+			}
+			for _, pt := range ds.Points {
+				if pt.PeakOutstanding <= 0 || pt.Completed <= 0 {
+					t.Errorf("%s/%s @%g: empty pipeline stats: %+v", engine, ds.Design, pt.OfferedMbps, pt)
+				}
+			}
+		}
+	}
+}
