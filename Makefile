@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench-smoke bench-json bench-compare figures examples-smoke scenario-smoke ci
+.PHONY: all build test race fmt vet ci-matrix bench-smoke bench-json bench-compare bench-gate figures examples-smoke scenario-smoke ci
 
 all: build
 
@@ -14,7 +14,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./...
+
+# The determinism matrix: the golden, differential, and sharding
+# conservation tests under every engine x event-queue combination. The
+# two engines (event-driven vs ticked reference) and the two queue
+# implementations (indexed min-heap vs linear scan) must all produce
+# byte-identical results; this is the gate that lets either axis be
+# swapped without a correctness argument from scratch.
+ci-matrix:
+	@for e in event ticked; do \
+		for q in heap scan; do \
+			echo "==== engine=$$e eventq=$$q ===="; \
+			DRSTRANGE_ENGINE=$$e DRSTRANGE_EVENTQ=$$q DRSTRANGE_INSTR=8000 \
+				$(GO) test -run 'Golden|Differential|ByteIdentical|Shard|Conservation|EventQueue' ./... || exit 1; \
+		done; \
+	done
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -54,6 +69,18 @@ bench-compare:
 	@test -n "$(NEW)" || { echo "usage: make bench-compare [OLD=old.json] NEW=new.json"; exit 2; }
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
+# The regression gate CI's bench-compare job enforces: diff against the
+# committed baseline, write the machine-readable delta artifact, and
+# fail only when a gated headline — the saturated serve point's memory
+# or a serving sweep's p99 latency — regresses by more than 25%.
+# Everything else in the diff is informational (micro-benchmark noise
+# on shared runners must not block merges).
+DELTA ?= BENCH_delta.json
+BENCH_GATES = ServeLoadSaturated:B/op,ServeLoadSaturated:allocs/op,ServeLoadSaturated:headline,ServeLoad:headline,ServeLoadSharded:headline
+bench-gate:
+	@test -n "$(NEW)" || { echo "usage: make bench-gate [OLD=old.json] NEW=new.json [DELTA=delta.json]"; exit 2; }
+	$(GO) run ./cmd/benchjson -compare -delta $(DELTA) -maxratio 1.25 -gate $(BENCH_GATES) $(OLD) $(NEW)
+
 # Regenerate every figure at the default budget (slow; honors
 # DRSTRANGE_INSTR and DRSTRANGE_WORKERS).
 figures:
@@ -69,7 +96,9 @@ examples-smoke:
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/keygen
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/openloop
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/scenario
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/sharded
 	$(GO) run ./cmd/rngbench -loads 320,1280 -warmup 5000 -window 20000
+	$(GO) run ./cmd/rngbench -loads 1280,5120 -warmup 5000 -window 20000 -shards 1,4 -router jsq
 
 # The canned scenarios/ files for all three kinds run through both
 # CLIs (any CLI runs any kind via -scenario), and the figure scenario's
@@ -92,5 +121,13 @@ scenario-smoke:
 		rm -rf $$tmp; exit 1; \
 	fi; \
 	rm -rf $$tmp; echo "scenario-smoke OK: figure output byte-identical across paths"
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/drstrange -scenario scenarios/serve_sharded.json > $$tmp/drstrange.txt; \
+	$(GO) run ./cmd/rngbench -scenario scenarios/serve_sharded.json > $$tmp/rngbench.txt; \
+	if ! diff -u $$tmp/drstrange.txt $$tmp/rngbench.txt; then \
+		echo "sharded serve scenario output differs between the two CLIs"; \
+		rm -rf $$tmp; exit 1; \
+	fi; \
+	rm -rf $$tmp; echo "scenario-smoke OK: sharded serve output byte-identical across CLIs"
 
-ci: fmt vet build test race bench-smoke examples-smoke scenario-smoke
+ci: fmt vet build test race ci-matrix bench-smoke examples-smoke scenario-smoke

@@ -163,6 +163,34 @@ func BenchmarkServeLoadSaturated(b *testing.B) {
 	b.ReportMetric(pts[0].P99*sim.TickNanos, "headline")
 }
 
+// BenchmarkServeLoadSharded is the sharded-topology headline: the same
+// saturating 5.12 Gb/s offered load that collapses the single-channel
+// machine (BenchmarkServeLoadSaturated's point), served by 4 channel
+// shards behind the join-shortest-queue router. The headline metric is
+// the p99 request latency in ns — nanoseconds instead of the tens of
+// microseconds the one-channel backlog produces — and achieved_mbps
+// reports the delivered throughput scaling past the 2.56 Gb/s
+// single-channel ceiling.
+func BenchmarkServeLoadSharded(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sim.ServeConfig{
+		Design:      sim.DesignDRStrange,
+		Background:  workload.Mix{Name: "mcf", Apps: []string{"mcf"}},
+		WarmupTicks: 10_000,
+		WindowTicks: 50_000,
+		Seed:        3,
+		Shards:      4,
+		Router:      sim.RouterJSQ,
+	}
+	var pts []sim.ServePoint
+	for i := 0; i < b.N; i++ {
+		pts = sim.ServeLoad(cfg, []float64{5120})
+	}
+	b.ReportMetric(pts[0].AchievedMbps, "achieved_mbps")
+	b.ReportMetric(float64(pts[0].PeakOutstanding), "peak_outstanding")
+	b.ReportMetric(pts[0].P99*sim.TickNanos, "headline")
+}
+
 // BenchmarkServeLoadLongWindow holds the offered load at capacity over
 // a 4,000,000-tick window (80x the default; 20 ms of simulated time).
 // Before the streaming pipeline this point materialized every arrival

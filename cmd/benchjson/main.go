@@ -19,7 +19,13 @@
 // top of the file, not three screens into the benchmark list.
 //
 // -compare diffs two snapshots benchmark by benchmark (ns/op, B/op,
-// allocs/op, headline) and is what `make bench-compare` runs.
+// allocs/op, headline) and is what `make bench-compare` runs. With
+// -delta the diff is also written as JSON (the CI artifact), and -gate
+// turns selected benchmark:metric pairs into a regression gate: any
+// gated ratio above -maxratio (default 1.25) fails the comparison.
+// Ungated metrics are informational only — micro-benchmark noise on a
+// shared CI runner must not block merges, but a >25% regression on the
+// serve-memory or tail-latency headlines should.
 package main
 
 import (
@@ -67,6 +73,9 @@ const serveMemoryBench = "ServeLoadSaturated"
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<utc timestamp>.json)")
 	compare := flag.Bool("compare", false, "compare two snapshot files (args: old.json new.json) instead of reading bench output")
+	delta := flag.String("delta", "", "with -compare, also write the diff as JSON to this path (the CI artifact)")
+	maxRatio := flag.Float64("maxratio", 1.25, "with -compare -gate, fail when a gated new/old ratio exceeds this")
+	gate := flag.String("gate", "", "with -compare, comma-separated Benchmark:metric pairs to enforce (e.g. ServeLoadSaturated:B/op,ServeLoad:headline)")
 	flag.Parse()
 
 	if *compare {
@@ -74,8 +83,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files: old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareSnapshots(flag.Arg(0), flag.Arg(1)); err != nil {
+		gates := map[string]bool{}
+		for _, g := range strings.Split(*gate, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				gates[g] = true
+			}
+		}
+		violations, err := compareSnapshots(flag.Arg(0), flag.Arg(1), *delta, gates, *maxRatio)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d gated metric(s) regressed beyond %.2fx\n", violations, *maxRatio)
 			os.Exit(1)
 		}
 		return
@@ -85,7 +105,8 @@ func main() {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Env:         map[string]string{},
 	}
-	for _, k := range []string{"DRSTRANGE_INSTR", "DRSTRANGE_WORKERS", "DRSTRANGE_ENGINE"} {
+	for _, k := range []string{"DRSTRANGE_INSTR", "DRSTRANGE_WORKERS", "DRSTRANGE_ENGINE",
+		"DRSTRANGE_EVENTQ", "DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER"} {
 		if v := os.Getenv(k); v != "" {
 			snap.Env[k] = v
 		}
@@ -151,23 +172,47 @@ func loadSnapshot(path string) (snapshot, error) {
 // in print order.
 var compareMetrics = []string{"ns/op", "B/op", "allocs/op", "headline"}
 
+// deltaEntry is one benchmark:metric row of the -delta JSON artifact.
+type deltaEntry struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	Ratio     float64 `json:"ratio"`
+	Gated     bool    `json:"gated,omitempty"`
+	Violation bool    `json:"violation,omitempty"`
+}
+
+// deltaFile is the -delta artifact: the full diff plus the gate verdict
+// in one machine-readable place.
+type deltaFile struct {
+	OldPath    string       `json:"old"`
+	NewPath    string       `json:"new"`
+	MaxRatio   float64      `json:"max_ratio"`
+	Violations int          `json:"violations"`
+	Entries    []deltaEntry `json:"entries"`
+}
+
 // compareSnapshots prints a benchmark-by-benchmark diff of two
 // snapshots: old value, new value, and the ratio new/old for each
-// metric both sides report. Benchmarks present on only one side are
-// listed at the end so renames and additions are visible.
-func compareSnapshots(oldPath, newPath string) error {
+// metric both sides report, flagging gated metrics whose ratio exceeds
+// maxRatio. Benchmarks present on only one side are listed at the end
+// so renames and additions are visible. It returns the number of gate
+// violations (the caller turns those into a nonzero exit).
+func compareSnapshots(oldPath, newPath, deltaPath string, gates map[string]bool, maxRatio float64) (int, error) {
 	oldSnap, err := loadSnapshot(oldPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	newSnap, err := loadSnapshot(newPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	oldBy := map[string]benchResult{}
 	for _, b := range oldSnap.Benchmarks {
 		oldBy[b.Name] = b
 	}
+	df := deltaFile{OldPath: oldPath, NewPath: newPath, MaxRatio: maxRatio}
 	fmt.Printf("%-28s %-10s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "ratio")
 	seen := map[string]bool{}
 	for _, nb := range newSnap.Benchmarks {
@@ -186,7 +231,27 @@ func compareSnapshots(oldPath, newPath string) error {
 			if ov != 0 {
 				ratio = nv / ov
 			}
-			fmt.Printf("%-28s %-10s %14.1f %14.1f %7.3fx\n", nb.Name, m, ov, nv, ratio)
+			e := deltaEntry{Benchmark: nb.Name, Metric: m, Old: ov, New: nv, Ratio: ratio,
+				Gated: gates[nb.Name+":"+m]}
+			// An old value of 0 yields no meaningful ratio; JSON cannot
+			// carry NaN, so the artifact stores 0 ("no ratio") and the
+			// gate never fires on it.
+			if math.IsNaN(e.Ratio) {
+				e.Ratio = 0
+			}
+			e.Violation = e.Gated && ratio > maxRatio
+			if e.Violation {
+				df.Violations++
+			}
+			df.Entries = append(df.Entries, e)
+			mark := ""
+			if e.Gated {
+				mark = "  [gate]"
+				if e.Violation {
+					mark = "  [gate FAIL]"
+				}
+			}
+			fmt.Printf("%-28s %-10s %14.1f %14.1f %7.3fx%s\n", nb.Name, m, ov, nv, ratio, mark)
 		}
 	}
 	for _, b := range newSnap.Benchmarks {
@@ -199,7 +264,18 @@ func compareSnapshots(oldPath, newPath string) error {
 			fmt.Printf("%-28s only in %s\n", b.Name, oldPath)
 		}
 	}
-	return nil
+	if deltaPath != "" {
+		data, err := json.MarshalIndent(df, "", "  ")
+		if err != nil {
+			return df.Violations, err
+		}
+		if err := os.WriteFile(deltaPath, append(data, '\n'), 0o644); err != nil {
+			return df.Violations, err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote delta %s (%d entries, %d violations)\n",
+			deltaPath, len(df.Entries), df.Violations)
+	}
+	return df.Violations, nil
 }
 
 // parseBenchLine parses one `go test -bench` result line:

@@ -16,6 +16,11 @@
 // capture pprof profiles of the sweep (the heap profile is taken after
 // a GC, so it shows the serve path's live O(outstanding) footprint).
 //
+// -shards serves the load on N independent DRAM channel shards behind
+// a request router (-router). A comma-separated -shards list sweeps the
+// topology — one report per shard count, same loads — which is how the
+// capacity story past the single-channel ~2.56 Gb/s ceiling is plotted.
+//
 // Usage examples:
 //
 //	rngbench
@@ -24,12 +29,16 @@
 //	rngbench -mech quac -bytes 32 -window 200000
 //	rngbench -scenario scenarios/serve-sweep.json -json
 //	rngbench -loads 5120 -window 1000000 -cpuprofile cpu.pb -memprofile mem.pb
+//	rngbench -designs drstrange -loads 2560,5120 -shards 1,4,16 -router jsq
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -52,6 +61,10 @@ func main() {
 	warmup := flag.Int64("warmup", 20000, "warmup ticks before measurement (0 = measure from cold start)")
 	window := flag.Int64("window", 100000, "measurement window in memory ticks (1 tick = 5 ns)")
 	seed := flag.Uint64("seed", 0, "experiment seed")
+	shardsFlag := flag.String("shards", "",
+		"channel shard count (default DRSTRANGE_SHARDS or 1); a comma-separated list sweeps the topology, one report per count")
+	router := flag.String("router", "",
+		"request router across shards: "+strings.Join(drstrange.RouterNames(), "|")+" (default DRSTRANGE_ROUTER or round-robin)")
 	common := cliflag.Register("rngbench")
 	flag.Parse()
 
@@ -70,6 +83,14 @@ func main() {
 	if len(loads) == 0 {
 		common.Fatal(errors.New("no offered loads"))
 	}
+	var shardCounts []int
+	for _, s := range cliflag.SplitList(*shardsFlag) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			common.Fatal(fmt.Errorf("bad shard count %q: want a positive integer", s))
+		}
+		shardCounts = append(shardCounts, n)
+	}
 
 	sc := common.Scenario(drstrange.NewScenario(drstrange.KindServe,
 		drstrange.WithDesigns(designs...),
@@ -82,5 +103,48 @@ func main() {
 		drstrange.WithWindowTicks(*window),
 		drstrange.WithSeed(*seed),
 	))
-	common.Execute(sc)
+	// Explicit topology flags override a -scenario file's fields, the
+	// same flag > file > env precedence the shared knobs follow.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["router"] {
+		sc.Router = *router
+	}
+	if len(shardCounts) == 1 {
+		sc.Shards = shardCounts[0]
+	}
+	if len(shardCounts) <= 1 {
+		common.Execute(sc)
+		return
+	}
+	shardSweep(common, sc, shardCounts)
+}
+
+// shardSweep runs the scenario once per shard count and prints each
+// report under a topology header: the capacity-scaling view (-shards
+// 1,4,16). Text only — the per-count reports would not compose into
+// one JSON document.
+func shardSweep(common *cliflag.Common, sc drstrange.Scenario, counts []int) {
+	if common.JSONRequested() {
+		common.Fatal(errors.New("-json is not supported with a -shards sweep (run one shard count per invocation)"))
+	}
+	if err := sc.Validate(); err != nil {
+		common.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	for _, n := range counts {
+		s := sc
+		s.Shards = n
+		rep, err := drstrange.Run(ctx, s)
+		if err != nil {
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "rngbench: interrupted")
+				os.Exit(130)
+			}
+			common.Fatal(err)
+		}
+		fmt.Printf("==== shards=%d ====\n", n)
+		fmt.Print(rep.Render())
+	}
 }

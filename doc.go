@@ -87,9 +87,29 @@
 // and latency_bins. The figure bytes are pinned against the
 // pre-streaming collection code on both engines.
 //
+// # Sharded serving topology
+//
+// A serve scenario's Shards field splits the service across N
+// independent DRAM channel shards — each its own memory controller,
+// TRNG mechanism, and random number buffer, distinctly seeded — behind
+// a request router (the Router field) that dispatches each injected
+// request to one shard at its exact arrival tick. Routers (names from
+// RouterNames): "round-robin" cycles shards in index order, "jsq"
+// joins the shortest queue (fewest in-flight, lowest index on ties),
+// "buffer-aware" prefers the fullest random number buffer and falls
+// back to jsq among empty ones, "sticky" hashes the client id to a
+// shard. Routing is deterministic: sharded results are byte-identical
+// across engines and event-queue implementations, Shards: 1 reproduces
+// the single-channel output exactly, and a conservation property test
+// pins served + in-flight + shed == injected for every topology. Each
+// serve point reports per-shard stats (routed/completed, peak
+// outstanding, buffer hit rate) so routing imbalance stays visible.
+// One shard caps at D-RaNGe's 2.56 Gb/s aggregate; examples/sharded
+// and `rngbench -shards 1,4,16` show the capacity knee moving with N.
+//
 // # Environment knobs
 //
-// Three environment variables tune every driver and benchmark (their
+// Six environment variables tune every driver and benchmark (their
 // accepted values are documented and validated in internal/sim/env.go;
 // invalid settings warn once on stderr and fall back):
 //
@@ -100,6 +120,13 @@
 //   - DRSTRANGE_ENGINE selects the inner simulation loop: "event"
 //     (default, tick-skipping) or "ticked" (the reference walk); the
 //     two produce bit-identical results.
+//   - DRSTRANGE_EVENTQ selects how the event engine tracks per-shard
+//     wake-up bounds: "heap" (default, indexed min-heap) or "scan"
+//     (linear scan); the two produce bit-identical results.
+//   - DRSTRANGE_SHARDS defaults the serve-scenario shard count
+//     (default 1). Warned and ignored on non-serve kinds.
+//   - DRSTRANGE_ROUTER defaults the serve-scenario request router
+//     (default "round-robin"). Warned and ignored on non-serve kinds.
 //
 // Scenario fields take precedence over the environment when set; unset
 // fields defer to it, so serialized scenarios stay portable across

@@ -165,6 +165,11 @@ func (c *Common) startProfiles() (stop func()) {
 	}
 }
 
+// JSONRequested reports whether -json was given, for CLIs with output
+// modes (like rngbench's shard sweep) that have no JSON form and must
+// reject the combination instead of silently printing text.
+func (c *Common) JSONRequested() bool { return *c.jsonOut }
+
 // Fatal prints "prog: err" and exits 2 (the flag-error convention both
 // CLIs have always used).
 func (c *Common) Fatal(err error) {

@@ -88,6 +88,23 @@ func CountsFrom(dev *dram.Device, totalTicks, rngRounds int64) Counts {
 	}
 }
 
+// Add accumulates o's counts into c: multi-channel-shard systems sum
+// their per-device counts before one Compute call. Every Compute term
+// is linear in a count, so summing first is exact. BanksPerChannel is
+// a shared multiplier, not a count — the devices must agree on it.
+func (c *Counts) Add(o Counts) {
+	c.ACTs += o.ACTs
+	c.RDs += o.RDs
+	c.WRs += o.WRs
+	c.REFs += o.REFs
+	c.ActiveTicks += o.ActiveTicks
+	c.TotalChannelTicks += o.TotalChannelTicks
+	c.RNGRounds += o.RNGRounds
+	if c.BanksPerChannel == 0 {
+		c.BanksPerChannel = o.BanksPerChannel
+	}
+}
+
 // Breakdown is the energy result in joules.
 type Breakdown struct {
 	ActPre     float64

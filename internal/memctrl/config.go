@@ -222,6 +222,29 @@ type Stats struct {
 	StarvationOverrides int64
 }
 
+// Add accumulates o's counters into s: a sharded system (multiple
+// independent controllers behind one front end) sums its per-shard
+// stats into one fleet view, and every field is a plain count so the
+// sum is exact.
+func (s *Stats) Add(o Stats) {
+	s.ReadsServed += o.ReadsServed
+	s.WritesServed += o.WritesServed
+	s.RNGServed += o.RNGServed
+	s.RNGFromBuffer += o.RNGFromBuffer
+	s.RNGRounds += o.RNGRounds
+	s.ModeSwitches += o.ModeSwitches
+	s.TicksRNGMode += o.TicksRNGMode
+	s.ReadLatencySum += o.ReadLatencySum
+	s.RNGLatencySum += o.RNGLatencySum
+	s.PredTP += o.PredTP
+	s.PredFP += o.PredFP
+	s.PredTN += o.PredTN
+	s.PredFN += o.PredFN
+	s.IdlePeriods += o.IdlePeriods
+	s.LongIdlePeriods += o.LongIdlePeriods
+	s.StarvationOverrides += o.StarvationOverrides
+}
+
 // PredictorAccuracy returns the idleness predictor's accuracy in
 // [0, 1], or 0 if it was never exercised.
 func (s *Stats) PredictorAccuracy() float64 {

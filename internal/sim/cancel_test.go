@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -116,7 +117,7 @@ func TestServeLoadCtxCompletesUncancelled(t *testing.T) {
 		t.Fatalf("ServeLoadCtx error = %v", err)
 	}
 	for i := range want {
-		if want[i] != got[i] {
+		if !reflect.DeepEqual(want[i], got[i]) {
 			t.Fatalf("point %d differs: ServeLoad %+v vs ServeLoadCtx %+v", i, want[i], got[i])
 		}
 	}

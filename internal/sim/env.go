@@ -15,6 +15,16 @@ package sim
 //	DRSTRANGE_ENGINE   "event" (default) or "ticked" — inner-loop
 //	                   selection; the two engines produce bit-identical
 //	                   results.
+//	DRSTRANGE_EVENTQ   "heap" (default) or "scan" — the sharded event
+//	                   engine's next-event index (indexed bound heap vs
+//	                   the reference linear scan); the two modes produce
+//	                   bit-identical results.
+//	DRSTRANGE_SHARDS   positive integer — channel shard count of serve
+//	                   scenarios (default 1). Serve-only: warned about
+//	                   and ignored on figure/run scenario kinds.
+//	DRSTRANGE_ROUTER   router policy name of serve scenarios (default
+//	                   round-robin; see RouterNames). Serve-only, like
+//	                   DRSTRANGE_SHARDS.
 //
 // A knob set to anything outside its accepted values is ignored with a
 // single warning on stderr (it used to fall back silently, which made
@@ -25,6 +35,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -93,3 +104,59 @@ var envEngine = sync.OnceValue(func() string {
 		return EngineEvent
 	}
 })
+
+// envEventQueue caches the DRSTRANGE_EVENTQ lookup: EventQueue() sits
+// on the memo-key path like Engine().
+var envEventQueue = sync.OnceValue(func() string {
+	switch v := os.Getenv("DRSTRANGE_EVENTQ"); v {
+	case "", EventQueueHeap:
+		return EventQueueHeap
+	case EventQueueScan:
+		return EventQueueScan
+	default:
+		envWarnOnce("DRSTRANGE_EVENTQ",
+			fmt.Sprintf("ignoring DRSTRANGE_EVENTQ=%q: want %q or %q", v, EventQueueHeap, EventQueueScan))
+		return EventQueueHeap
+	}
+})
+
+// DefaultShards resolves the serve layer's channel shard count:
+// DRSTRANGE_SHARDS, or 1. Not cached — tests and long-lived callers
+// may change the topology between sweeps.
+func DefaultShards() int {
+	if n, ok := envPositiveInt("DRSTRANGE_SHARDS"); ok {
+		return int(n)
+	}
+	return 1
+}
+
+// DefaultRouter resolves the serve layer's request router:
+// DRSTRANGE_ROUTER, or round-robin. An unknown name warns once (with
+// the sorted valid list) and falls back to the default, like every
+// other knob.
+func DefaultRouter() string {
+	v := os.Getenv("DRSTRANGE_ROUTER")
+	if v == "" {
+		return RouterRoundRobin
+	}
+	if !ValidRouter(v) {
+		envWarnOnce("DRSTRANGE_ROUTER",
+			fmt.Sprintf("ignoring DRSTRANGE_ROUTER=%q: want one of %s", v, strings.Join(RouterNames(), ", ")))
+		return RouterRoundRobin
+	}
+	return v
+}
+
+// WarnIgnoredServeKnobs warns once per knob when the serve-only
+// topology knobs are set in the environment of a non-serve scenario
+// kind: a figure or closed-loop run always models the paper's
+// single-channel machine, so a set DRSTRANGE_SHARDS/DRSTRANGE_ROUTER
+// would otherwise be silently dead.
+func WarnIgnoredServeKnobs(kind string) {
+	for _, knob := range []string{"DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER"} {
+		if os.Getenv(knob) != "" {
+			envWarnOnce(knob,
+				fmt.Sprintf("%s applies only to serve scenarios; ignored on kind %q", knob, kind))
+		}
+	}
+}

@@ -80,3 +80,87 @@ func TestEnvEngineValidation(t *testing.T) {
 		t.Errorf("envEngine() = %q, want %q", got, want)
 	}
 }
+
+// TestEnvEventQueueValidation checks the cached event-queue knob the
+// same way: the empty value means the heap default.
+func TestEnvEventQueueValidation(t *testing.T) {
+	got := envEventQueue()
+	want := EventQueueHeap
+	if os.Getenv("DRSTRANGE_EVENTQ") == EventQueueScan {
+		want = EventQueueScan
+	}
+	if got != want {
+		t.Errorf("envEventQueue() = %q, want %q", got, want)
+	}
+}
+
+// TestEnvShardKnobs pins the serve-topology knobs: valid values apply,
+// bad values warn once and fall back, and the router warning names the
+// sorted accepted list.
+func TestEnvShardKnobs(t *testing.T) {
+	buf := captureEnvWarnings(t, "DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER")
+
+	t.Setenv("DRSTRANGE_SHARDS", "4")
+	if got := DefaultShards(); got != 4 {
+		t.Errorf("DRSTRANGE_SHARDS=4: got %d", got)
+	}
+	t.Setenv("DRSTRANGE_ROUTER", RouterJSQ)
+	if got := DefaultRouter(); got != RouterJSQ {
+		t.Errorf("DRSTRANGE_ROUTER=jsq: got %q", got)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("valid knobs warned: %q", buf.String())
+	}
+
+	for _, bad := range []string{"0", "-2", "many"} {
+		t.Setenv("DRSTRANGE_SHARDS", bad)
+		if got := DefaultShards(); got != 1 {
+			t.Errorf("DRSTRANGE_SHARDS=%q: got %d, want 1", bad, got)
+		}
+	}
+	if n := strings.Count(buf.String(), "DRSTRANGE_SHARDS"); n != 1 {
+		t.Errorf("bad DRSTRANGE_SHARDS warned %d times, want 1:\n%s", n, buf.String())
+	}
+
+	t.Setenv("DRSTRANGE_ROUTER", "zipf")
+	for i := 0; i < 3; i++ {
+		if got := DefaultRouter(); got != RouterRoundRobin {
+			t.Errorf("DRSTRANGE_ROUTER=zipf: got %q, want round-robin", got)
+		}
+	}
+	if n := strings.Count(buf.String(), "DRSTRANGE_ROUTER"); n != 1 {
+		t.Errorf("bad DRSTRANGE_ROUTER warned %d times, want 1:\n%s", n, buf.String())
+	}
+	if want := strings.Join(RouterNames(), ", "); !strings.Contains(buf.String(), want) {
+		t.Errorf("router warning does not list the valid names %q: %q", want, buf.String())
+	}
+}
+
+// TestWarnIgnoredServeKnobs pins the cross-kind warning: a set
+// DRSTRANGE_SHARDS/DRSTRANGE_ROUTER is called out (once per knob) on
+// non-serve scenario kinds instead of being silently dead.
+func TestWarnIgnoredServeKnobs(t *testing.T) {
+	buf := captureEnvWarnings(t, "DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER")
+	t.Setenv("DRSTRANGE_SHARDS", "4")
+	t.Setenv("DRSTRANGE_ROUTER", RouterSticky)
+	WarnIgnoredServeKnobs("figure")
+	WarnIgnoredServeKnobs("figure")
+	out := buf.String()
+	for _, knob := range []string{"DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER"} {
+		if n := strings.Count(out, knob); n != 1 {
+			t.Errorf("%s warned %d times, want 1:\n%s", knob, n, out)
+		}
+	}
+	if !strings.Contains(out, `ignored on kind "figure"`) {
+		t.Errorf("warning does not name the kind: %q", out)
+	}
+
+	// Unset knobs stay silent.
+	buf2 := captureEnvWarnings(t, "DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER")
+	t.Setenv("DRSTRANGE_SHARDS", "")
+	t.Setenv("DRSTRANGE_ROUTER", "")
+	WarnIgnoredServeKnobs("run")
+	if buf2.Len() != 0 {
+		t.Errorf("unset knobs warned: %q", buf2.String())
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+// The sharded event engine's next-event index. With one shard the event
+// engine's per-event cost is a scan over that shard's components; with
+// N shards a naive generalization re-scans every shard at every event —
+// O(N) per event, which defeats the point of skipping ticks once
+// hundred-shard configs are in play. Instead the sharded loop keeps one
+// cached next-event bound per shard and indexes the bounds in a binary
+// min-heap with lazy invalidation:
+//
+//   - Executing a shard dirties its cached bound; the next event
+//     recomputes only the dirty shards' bounds and pushes fresh heap
+//     entries (O(log n) each).
+//   - Stale entries (generation mismatch) are popped and discarded when
+//     they surface at the top; the heap compacts itself when stale
+//     entries outnumber live ones.
+//
+// The linear min-over-shards scan stays selectable (DRSTRANGE_EVENTQ=
+// scan, SetEventQueue) as the differential reference: both modes must
+// produce byte-identical results on every golden, exactly like the
+// ticked engine pins the event engine. The knob mirrors the engine knob
+// in engine.go; validation lives in env.go.
+
+import "sync"
+
+// Event-queue mode names accepted by SetEventQueue and
+// DRSTRANGE_EVENTQ.
+const (
+	// EventQueueHeap is the indexed binary heap with lazy invalidation
+	// (default): O(log n) per event in the shard count.
+	EventQueueHeap = "heap"
+	// EventQueueScan is the reference linear min-over-shards scan, kept
+	// selectable for differential testing.
+	EventQueueScan = "scan"
+)
+
+var (
+	eventqMu  sync.Mutex
+	eventqSet string // SetEventQueue override; "" = unset
+)
+
+// EventQueue reports which next-event index the sharded event engine
+// uses: the SetEventQueue override if set, else DRSTRANGE_EVENTQ, else
+// the indexed heap.
+func EventQueue() string {
+	eventqMu.Lock()
+	defer eventqMu.Unlock()
+	if eventqSet != "" {
+		return eventqSet
+	}
+	return envEventQueue()
+}
+
+// EventQueueOverride reports the raw SetEventQueue override ("" when
+// unset), so callers applying a temporary override can restore the
+// exact prior state.
+func EventQueueOverride() string {
+	eventqMu.Lock()
+	defer eventqMu.Unlock()
+	return eventqSet
+}
+
+// SetEventQueue overrides the event-queue mode for subsequently built
+// Systems (the differential tests); "" restores the default resolution.
+// Unknown names select the default heap.
+func SetEventQueue(name string) {
+	eventqMu.Lock()
+	defer eventqMu.Unlock()
+	eventqSet = name
+}
+
+// heapEntry is one indexed bound: shard's next-event tick as of the
+// generation gen. An entry whose gen no longer matches the shard's is
+// stale and is discarded when it reaches the top.
+type heapEntry struct {
+	tick  int64
+	shard int32
+	gen   uint32
+}
+
+// boundHeap is a plain binary min-heap of heapEntry ordered by tick,
+// ties by shard index (determinism never depends on this — equal-tick
+// shards all execute at that tick — but a total order keeps the
+// structure canonical).
+type boundHeap struct {
+	entries []heapEntry
+}
+
+func (h *boundHeap) len() int { return len(h.entries) }
+
+func (h *boundHeap) less(a, b heapEntry) bool {
+	if a.tick != b.tick {
+		return a.tick < b.tick
+	}
+	return a.shard < b.shard
+}
+
+func (h *boundHeap) push(e heapEntry) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.entries[i], h.entries[parent]) {
+			break
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+func (h *boundHeap) peek() (heapEntry, bool) {
+	if len(h.entries) == 0 {
+		return heapEntry{}, false
+	}
+	return h.entries[0], true
+}
+
+func (h *boundHeap) pop() {
+	n := len(h.entries) - 1
+	h.entries[0] = h.entries[n]
+	h.entries[n] = heapEntry{}
+	h.entries = h.entries[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(h.entries[l], h.entries[min]) {
+			min = l
+		}
+		if r < n && h.less(h.entries[r], h.entries[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.entries[i], h.entries[min] = h.entries[min], h.entries[i]
+		i = min
+	}
+}
+
+// compact drops stale entries in place and re-heapifies: called when
+// lazy deletion has let garbage outnumber live entries, so heap size
+// stays O(live shards).
+func (h *boundHeap) compact(isLive func(heapEntry) bool) {
+	live := h.entries[:0]
+	for _, e := range h.entries {
+		if isLive(e) {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(h.entries); i++ {
+		h.entries[i] = heapEntry{}
+	}
+	h.entries = live
+	// Floyd heapify: sift down from the last internal node.
+	n := len(h.entries)
+	for i := n/2 - 1; i >= 0; i-- {
+		j := i
+		for {
+			l, r := 2*j+1, 2*j+2
+			min := j
+			if l < n && h.less(h.entries[l], h.entries[min]) {
+				min = l
+			}
+			if r < n && h.less(h.entries[r], h.entries[min]) {
+				min = r
+			}
+			if min == j {
+				break
+			}
+			h.entries[j], h.entries[min] = h.entries[min], h.entries[j]
+			j = min
+		}
+	}
+}

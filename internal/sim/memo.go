@@ -81,14 +81,15 @@ func single[T any](get func() map[string]*inflight[T], key string, compute func(
 
 func runKey(cfg RunConfig) string {
 	var b strings.Builder
-	// The engine is part of the key even though both engines produce
-	// identical results: the differential tests flip engines
-	// mid-process, and a cache hit across engines would make them
-	// vacuously pass.
-	fmt.Fprintf(&b, "d%d|%s|rng%g|m%s|b%d|i%d|s%d|p%v|t%s|c%d|e%s",
+	// The engine and event-queue mode are part of the key even though
+	// every mode produces identical results: the differential tests
+	// flip them mid-process, and a cache hit across modes would make
+	// them vacuously pass. Shards/router shape the built System, so
+	// they key like any other config field.
+	fmt.Fprintf(&b, "d%d|%s|rng%g|m%s|b%d|i%d|s%d|p%v|t%s|c%d|e%s|sh%d|r%s|q%s",
 		cfg.Design, strings.Join(cfg.Mix.Apps, ","), cfg.Mix.RNGMbps,
 		cfg.Mech.Name, cfg.BufferWords, cfg.Instructions, cfg.Seed, cfg.Priorities, cfg.TweakID,
-		cfg.Clients, Engine())
+		cfg.Clients, Engine(), cfg.Shards, cfg.Router, EventQueue())
 	return b.String()
 }
 

@@ -1,0 +1,115 @@
+package sim
+
+import "sort"
+
+// Request routing across channel shards. A sharded System (RunConfig.
+// Shards > 1) is N independent DRAM channels — each with its own memory
+// controller, RNG buffer, and TRNG mechanism instance — behind one
+// injection port. The router decides, per arriving request, which shard
+// serves it. Routing happens at the request's exact arrival tick (not
+// at InjectRNG time), so queue- and buffer-aware policies observe the
+// shards' live state at the moment a real front end would dispatch.
+//
+// Every policy is deterministic: ties break toward the lowest shard
+// index, so runs are byte-identical across engines, event-queue modes,
+// and StepTo slicings (the router sees identical shard state at every
+// arrival tick under all of them, by the engine invariant).
+
+// Router policy names accepted by RunConfig.Router, ServeConfig.Router,
+// the scenario schema's "router" field, and DRSTRANGE_ROUTER.
+const (
+	// RouterRoundRobin cycles arrivals across shards in order. The
+	// default: oblivious to load, perfectly fair in request count.
+	RouterRoundRobin = "round-robin"
+	// RouterJSQ joins the shortest queue: the shard with the fewest
+	// injected requests alive (waiting or in flight).
+	RouterJSQ = "jsq"
+	// RouterBufferAware prefers the shard whose random number buffer
+	// holds the most ready words — requests land where they can be
+	// served from buffered entropy instead of triggering generation.
+	RouterBufferAware = "buffer-aware"
+	// RouterSticky pins each client to one shard (client mod shards):
+	// locality for per-client buffer partitions, at the cost of load
+	// imbalance when clients are skewed.
+	RouterSticky = "sticky"
+)
+
+// RouterNames lists the accepted router policy names, sorted.
+func RouterNames() []string {
+	names := []string{RouterRoundRobin, RouterJSQ, RouterBufferAware, RouterSticky}
+	sort.Strings(names)
+	return names
+}
+
+// ValidRouter reports whether name is an accepted router policy.
+func ValidRouter(name string) bool {
+	switch name {
+	case RouterRoundRobin, RouterJSQ, RouterBufferAware, RouterSticky:
+		return true
+	}
+	return false
+}
+
+// routePolicy picks the serving shard for one arriving request. pick is
+// called at the request's arrival tick with the shards' live state.
+type routePolicy interface {
+	pick(shards []*channelShard, ir *InjectedRequest) int
+}
+
+// newRoutePolicy builds the policy for a validated router name.
+func newRoutePolicy(name string) (routePolicy, bool) {
+	switch name {
+	case RouterRoundRobin:
+		return &roundRobinPolicy{}, true
+	case RouterJSQ:
+		return jsqPolicy{}, true
+	case RouterBufferAware:
+		return bufferAwarePolicy{}, true
+	case RouterSticky:
+		return stickyPolicy{}, true
+	}
+	return nil, false
+}
+
+type roundRobinPolicy struct{ next int }
+
+func (p *roundRobinPolicy) pick(shards []*channelShard, _ *InjectedRequest) int {
+	k := p.next % len(shards)
+	p.next++
+	return k
+}
+
+type jsqPolicy struct{}
+
+func (jsqPolicy) pick(shards []*channelShard, _ *InjectedRequest) int {
+	best := 0
+	for k := 1; k < len(shards); k++ {
+		if shards[k].live < shards[best].live {
+			best = k
+		}
+	}
+	return best
+}
+
+type bufferAwarePolicy struct{}
+
+func (bufferAwarePolicy) pick(shards []*channelShard, _ *InjectedRequest) int {
+	// Most buffered words wins; among equally full buffers fall back to
+	// the least loaded shard (an empty-buffer fleet degrades to JSQ
+	// rather than hammering shard 0).
+	best := 0
+	bestWords := shards[0].bufferWords()
+	for k := 1; k < len(shards); k++ {
+		w := shards[k].bufferWords()
+		if w > bestWords || (w == bestWords && shards[k].live < shards[best].live) {
+			best, bestWords = k, w
+		}
+	}
+	return best
+}
+
+type stickyPolicy struct{}
+
+func (stickyPolicy) pick(shards []*channelShard, ir *InjectedRequest) int {
+	return ir.Client % len(shards)
+}

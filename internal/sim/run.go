@@ -46,6 +46,17 @@ type RunConfig struct {
 	// with Clients > 0 are never memoized — their outcome depends on
 	// the injection schedule, which the memo key cannot capture.
 	Clients int
+	// Shards is the number of independent DRAM channel shards — each
+	// with its own controller, device, RNG buffer, and mechanism
+	// instance — behind the injection port; <= 0 selects 1 (the
+	// paper's single-channel machine; every figure driver uses it).
+	// Each shard runs the full Mix with a seed offset so shard traces
+	// are decorrelated.
+	Shards int
+	// Router names the request routing policy across shards (router.go:
+	// round-robin, jsq, buffer-aware, sticky); "" selects round-robin.
+	// Irrelevant when Shards == 1.
+	Router string
 	// Tweak optionally adjusts the controller configuration after the
 	// design's defaults are applied (ablation studies). TweakID must
 	// uniquely name the adjustment: it keys the run memoization.
@@ -64,6 +75,12 @@ func (c RunConfig) Normalized() RunConfig {
 	}
 	if c.Instructions <= 0 {
 		c.Instructions = DefaultInstructions()
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Router == "" {
+		c.Router = RouterRoundRobin
 	}
 	return c
 }

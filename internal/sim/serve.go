@@ -61,6 +61,15 @@ type ServeConfig struct {
 	// 100000 (0.5 ms of simulated time).
 	WindowTicks int64
 	Seed        uint64
+	// Shards is the number of independent DRAM channel shards serving
+	// the request stream (each with its own controller, RNG buffer, and
+	// mechanism instance); <= 0 selects DRSTRANGE_SHARDS, then 1 — the
+	// paper's single-channel machine, which reproduces every historical
+	// serve figure byte for byte.
+	Shards int
+	// Router names the request routing policy across shards
+	// (RouterNames); "" selects DRSTRANGE_ROUTER, then round-robin.
+	Router string
 }
 
 // Normalized returns the configuration with its defaults filled in:
@@ -87,6 +96,12 @@ func (c ServeConfig) Normalized() ServeConfig {
 	}
 	if c.WindowTicks <= 0 {
 		c.WindowTicks = 100_000
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards()
+	}
+	if c.Router == "" {
+		c.Router = DefaultRouter()
 	}
 	return c
 }
@@ -129,6 +144,15 @@ type ServePoint struct {
 	PeakOutstanding  int64
 	RecycledRequests int64
 	LatencyBins      int
+
+	// Sharded-topology stats, filled only when the point was measured
+	// on a sharded system (Shards > 1): the configured topology plus
+	// each shard's routing/occupancy/hit-rate snapshot after the drain.
+	// Single-shard points leave all three zero, so every historical
+	// ServePoint comparison stays byte-identical.
+	Shards   int
+	Router   string
+	PerShard []ShardStat
 }
 
 // ServeLoad sweeps the offered loads (aggregate Mb/s of requested
@@ -228,6 +252,8 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		Instructions: serveTarget,
 		Seed:         cfg.Seed,
 		Clients:      cfg.Clients,
+		Shards:       cfg.Shards,
+		Router:       cfg.Router,
 	})
 
 	end := cfg.WarmupTicks + cfg.WindowTicks
@@ -310,6 +336,11 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	p.PeakOutstanding = int64(sys.PeakOutstandingInjections())
 	p.RecycledRequests = sys.RecycledInjections()
 	p.LatencyBins = hist.Bins()
+	if cfg.Shards > 1 {
+		p.Shards = cfg.Shards
+		p.Router = cfg.Router
+		p.PerShard = sys.ShardStats()
+	}
 	return p
 }
 
@@ -366,10 +397,18 @@ func ServeCurveCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) 
 	if err != nil {
 		return Figure{}, nil, err
 	}
+	// Single-shard figures keep their historical ID and title bytes;
+	// sharded sweeps announce the topology in both.
+	id := fmt.Sprintf("ServeLoad-%s", cfg.Design)
+	topo := ""
+	if cfg.Shards > 1 {
+		id = fmt.Sprintf("ServeLoad-%s-x%d", cfg.Design, cfg.Shards)
+		topo = fmt.Sprintf("%d shards via %s, ", cfg.Shards, cfg.Router)
+	}
 	f := Figure{
-		ID: fmt.Sprintf("ServeLoad-%s", cfg.Design),
-		Title: fmt.Sprintf("%s serving %s %dB requests (%s, %d clients, bg=%s)",
-			cfg.Design, cfg.Mech.Name, cfg.RequestBytes, cfg.Arrival, cfg.Clients, bgName(cfg.Background)),
+		ID: id,
+		Title: fmt.Sprintf("%s serving %s %dB requests (%s, %d clients, %sbg=%s)",
+			cfg.Design, cfg.Mech.Name, cfg.RequestBytes, cfg.Arrival, cfg.Clients, topo, bgName(cfg.Background)),
 		// "served" is Completed/Submitted: below 1.0 the drain
 		// horizon censored the slowest requests, so the latency
 		// percentiles on that row are optimistic.

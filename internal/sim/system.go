@@ -9,47 +9,56 @@ import (
 	"drstrange/internal/workload"
 )
 
-// System is one fully constructed simulated system — cores driving the
-// memory controller over the DRAM device with a TRNG mechanism — whose
-// clock the caller advances explicitly. It is the steppable core every
-// driver builds on: Run steps a System to completion, the figure
-// drivers go through Run, and the open-loop serving layer (ServeLoad,
+// System is one fully constructed simulated system — one or more DRAM
+// channel shards, each a memory controller over its own DRAM device
+// with its own TRNG mechanism, RNG buffer, and cores — whose clock the
+// caller advances explicitly. It is the steppable core every driver
+// builds on: Run steps a System to completion, the figure drivers go
+// through Run, and the open-loop serving layer (ServeLoad,
 // cmd/rngbench) steps a System while injecting externally generated RNG
 // requests through the injection port.
 //
+// With RunConfig.Shards == 1 (the default, and every figure driver) the
+// System is exactly the paper's single-channel machine. With Shards > 1
+// it is a scale-out entropy service: N independent channels behind one
+// injection port, with a router (RunConfig.Router, router.go) choosing
+// the serving shard per request at its arrival tick.
+//
 // Time advances only through Step/StepTo, using the engine selected at
 // construction (Engine()): the event-driven engine skips ticks no
-// component can act on, the ticked engine walks every cycle. Both
-// produce bit-identical results, and results are independent of how the
-// advancement is sliced into StepTo calls (TestSystemStepToSegments):
-// a skipped tick and an executed quiescent tick are equivalent by the
-// engine invariant documented in engine.go.
+// component can act on, the ticked engine walks every cycle. The
+// sharded event loop additionally executes only the shards due at each
+// event — per-shard accounting catches up lazily — and finds the next
+// event through the indexed bound heap (eventq.go) or the reference
+// linear scan (EventQueue()). All paths produce bit-identical results,
+// and results are independent of how the advancement is sliced into
+// StepTo calls (TestSystemStepToSegments): a skipped tick and an
+// executed quiescent tick are equivalent by the engine invariant
+// documented in engine.go.
 //
 // A System steps one simulated clock and is not safe for concurrent
 // use. Use one instance per goroutine; the experiment engine (pool.go)
 // fans out across independent Systems.
 type System struct {
 	cfg    RunConfig
-	mcfg   memctrl.Config
-	ctrl   *memctrl.Controller
-	cores  []*cpu.Core
-	names  []string
+	shards []*channelShard
+	policy routePolicy
 	engine string
+	queue  string // event-queue mode captured at construction
 
-	now      int64 // next tick to execute
-	done     bool  // every measured core reached its instruction target
-	doneTick int64 // tick the last core finished (valid once done)
+	now        int64 // next tick to execute
+	done       bool  // every measured core reached its instruction target
+	doneTick   int64 // tick the last core finished (valid once done)
+	totalCores int   // measured cores across all shards
 
 	// Injection port state. clientBase is the controller core id of
 	// client 0 (clients occupy the core-id range after the simulated
-	// cores, so the controller's per-core bookkeeping — RNG-app marking,
-	// priorities — covers them).
-	clientBase  int
-	sched       []*InjectedRequest // scheduled arrivals, ascending SubmitTick
-	schedHead   int
-	waiting     []*InjectedRequest // arrived, not yet fully submitted (FIFO)
-	waitHead    int
-	outstanding []injWord // submitted words in flight
+	// cores, so each shard controller's per-core bookkeeping — RNG-app
+	// marking, priorities — covers them). Arrivals are held centrally
+	// and routed to a shard at their exact arrival tick.
+	clientBase int
+	sched      []*InjectedRequest // scheduled arrivals, ascending SubmitTick
+	schedHead  int
 
 	// Completion-hook state (OnInjectionComplete): onInjDone is invoked
 	// as each injected request's last word completes, after which the
@@ -64,12 +73,66 @@ type System struct {
 	injPeak     int                // high-water mark of injLive
 	injRecycled int64              // InjectRNG calls served from irFree
 
-	// Cached all-cores-stalled bound for nextEventTick: when every core
+	// Sharded event-loop next-event index (eventq.go): the heap holds
+	// per-shard bound entries with lazy invalidation; dirty lists the
+	// shards whose cached bound must be recomputed before the next
+	// lookup.
+	heap  boundHeap
+	dirty []int32
+}
+
+// channelShard is one independent DRAM channel of the System: its own
+// controller, device, TRNG mechanism instance, RNG buffer, and cores,
+// plus the shard-local injection state and the event-loop bookkeeping
+// that lets the sharded engine execute only the shards due at a tick.
+type channelShard struct {
+	idx   int
+	mcfg  memctrl.Config
+	ctrl  *memctrl.Controller
+	cores []*cpu.Core
+	names []string
+
+	waiting     []*InjectedRequest // routed here, not yet fully submitted (FIFO)
+	waitHead    int
+	outstanding []injWord // submitted words in flight
+
+	// Cached all-cores-stalled bound for componentBound: when every core
 	// reported the far-future sentinel, the cores stay stalled until the
 	// controller's unblock-event counter moves, so the per-event core
 	// scan can be skipped in between.
 	coresStalled   bool
 	coresStalledEv int64
+
+	// Sharded event-loop state. accounted is the next tick this shard
+	// must account (every tick below it has been executed or credited
+	// through AccountSkip); bound caches the shard's next-event lower
+	// bound; gen stamps the shard's live heap entry (lazy invalidation);
+	// finishedCores caches the done-detection count across quiescent
+	// events.
+	accounted     int64
+	bound         int64
+	boundValid    bool
+	gen           uint32
+	queuedDirty   bool
+	finishedCores int
+
+	// Router-visible / reported stats.
+	routed    int64 // requests the router dispatched here
+	completed int64 // requests fully served here
+	live      int   // dispatched, not yet complete
+	peakLive  int   // high-water mark of live
+	doneWords int64 // words completed here
+	bufWords  int64 // of those, served from the RNG buffer
+}
+
+// bufferWords reports how many complete words the shard's RNG buffer
+// holds right now (0 without a buffer) — the buffer-aware router's
+// signal.
+func (sh *channelShard) bufferWords() int {
+	if sh.mcfg.Buffer == nil {
+		return 0
+	}
+	return sh.mcfg.Buffer.Words()
 }
 
 // InjectedRequest is one externally submitted RNG request flowing
@@ -79,6 +142,9 @@ type System struct {
 type InjectedRequest struct {
 	Client int
 	Words  int
+	// Shard is the channel shard the router dispatched the request to
+	// (0 on single-shard systems), valid once the arrival tick passes.
+	Shard int
 	// SubmitTick is the tick the request arrives at the controller's
 	// front end (the open-loop arrival time; queueing delay counts
 	// against the request from here).
@@ -107,11 +173,21 @@ type injWord struct {
 	ir  *InjectedRequest
 }
 
+// shardSeedStride offsets each shard's workload/trace seed so shards
+// run decorrelated traces (golden-ratio stride; shard 0 keeps the
+// configured seed exactly, preserving every single-shard golden).
+const shardSeedStride = 0x9E3779B97F4A7C15
+
+// farFuture is the no-event sentinel next-event bound.
+const farFuture = int64(1) << 62
+
 // NewSystem builds the simulated system cfg describes without running
-// it: the memory controller and DRAM device for the design, one core
-// per application in the mix (plus the synthetic RNG benchmark core if
-// the mix requests one), and cfg.Clients injection-port client slots.
-// The engine (event or ticked) is captured at construction.
+// it: cfg.Shards independent channel shards — each with the design's
+// memory controller and DRAM device, one core per application in the
+// mix (plus the synthetic RNG benchmark core if the mix requests one)
+// — and cfg.Clients injection-port client slots shared by all shards
+// through the router. The engine and event-queue mode are captured at
+// construction.
 func NewSystem(cfg RunConfig) *System {
 	cfg.normalize()
 	nCores := cfg.Mix.Cores()
@@ -123,39 +199,49 @@ func NewSystem(cfg RunConfig) *System {
 		copy(padded, prio)
 		prio = padded
 	}
-	mcfg := buildConfig(cfg.Design, nCores+cfg.Clients, cfg.Mech, cfg.BufferWords, prio)
-	mcfg.OnIdlePeriod = cfg.OnIdlePeriod
-	if cfg.Tweak != nil {
-		cfg.Tweak(&mcfg)
-	}
-	ctrl, err := memctrl.NewController(mcfg)
-	if err != nil {
-		panic(fmt.Sprintf("sim: bad controller config: %v", err))
+	policy, ok := newRoutePolicy(cfg.Router)
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown router %q (valid: %v)", cfg.Router, RouterNames()))
 	}
 
 	s := &System{
 		cfg:        cfg,
-		mcfg:       mcfg,
-		ctrl:       ctrl,
+		policy:     policy,
 		engine:     Engine(),
+		queue:      EventQueue(),
 		clientBase: nCores,
 	}
-	geom := mcfg.Geom
 	ccfg := cpu.DefaultConfig()
-	for i, app := range cfg.Mix.Apps {
-		p := workload.MustByName(app)
-		tr := p.NewTrace(geom, 1000+i*4096, cfg.Seed+uint64(i)*7919)
-		s.cores = append(s.cores, cpu.NewCore(i, tr, ctrl, ccfg, cfg.Instructions))
-		s.names = append(s.names, app)
+	for k := 0; k < cfg.Shards; k++ {
+		mcfg := buildConfig(cfg.Design, nCores+cfg.Clients, cfg.Mech, cfg.BufferWords, prio)
+		mcfg.OnIdlePeriod = cfg.OnIdlePeriod
+		if cfg.Tweak != nil {
+			cfg.Tweak(&mcfg)
+		}
+		ctrl, err := memctrl.NewController(mcfg)
+		if err != nil {
+			panic(fmt.Sprintf("sim: bad controller config: %v", err))
+		}
+		sh := &channelShard{idx: k, mcfg: mcfg, ctrl: ctrl}
+		geom := mcfg.Geom
+		seed := cfg.Seed + uint64(k)*shardSeedStride
+		for i, app := range cfg.Mix.Apps {
+			p := workload.MustByName(app)
+			tr := p.NewTrace(geom, 1000+i*4096, seed+uint64(i)*7919)
+			sh.cores = append(sh.cores, cpu.NewCore(i, tr, ctrl, ccfg, cfg.Instructions))
+			sh.names = append(sh.names, app)
+		}
+		if cfg.Mix.RNGMbps > 0 {
+			rc := workload.DefaultRNGTraceConfig(cfg.Mix.RNGMbps)
+			rc.Seed ^= seed
+			tr := workload.NewRNGTrace(rc, geom)
+			sh.cores = append(sh.cores, cpu.NewCore(len(sh.cores), tr, ctrl, ccfg, cfg.Instructions))
+			sh.names = append(sh.names, rngAppName(cfg.Mix.RNGMbps))
+		}
+		s.totalCores += len(sh.cores)
+		s.shards = append(s.shards, sh)
 	}
-	if cfg.Mix.RNGMbps > 0 {
-		rc := workload.DefaultRNGTraceConfig(cfg.Mix.RNGMbps)
-		rc.Seed ^= cfg.Seed
-		tr := workload.NewRNGTrace(rc, geom)
-		s.cores = append(s.cores, cpu.NewCore(len(s.cores), tr, ctrl, ccfg, cfg.Instructions))
-		s.names = append(s.names, rngAppName(cfg.Mix.RNGMbps))
-	}
-	if len(s.cores) == 0 && cfg.Clients == 0 {
+	if s.totalCores == 0 && cfg.Clients == 0 {
 		panic("sim: empty mix")
 	}
 	return s
@@ -171,8 +257,13 @@ func (s *System) Now() int64 { return s.now }
 // front ends) never report done.
 func (s *System) Done() bool { return s.done }
 
-// Controller exposes the memory controller (stats, queue inspection).
-func (s *System) Controller() *memctrl.Controller { return s.ctrl }
+// Controller exposes shard 0's memory controller (stats, queue
+// inspection) — the whole controller on a single-shard System. Sharded
+// callers iterate ShardStats instead.
+func (s *System) Controller() *memctrl.Controller { return s.shards[0].ctrl }
+
+// Shards reports the number of channel shards.
+func (s *System) Shards() int { return len(s.shards) }
 
 // Step executes exactly one tick.
 func (s *System) Step() { s.StepTo(s.now) }
@@ -187,27 +278,44 @@ func (s *System) StepTo(cycle int64) {
 	if s.done {
 		return
 	}
-	if s.engine == EngineTicked {
-		for s.now <= cycle {
-			if s.execTick(s.now) {
-				return
-			}
-			s.now++
-		}
-		return
+	switch {
+	case s.engine == EngineTicked:
+		s.stepTicked(cycle)
+	case len(s.shards) == 1:
+		s.stepSingle(cycle)
+	default:
+		s.stepSharded(cycle)
 	}
+}
+
+// stepTicked is the reference tick-by-tick walk: every shard executes
+// every tick in lockstep.
+func (s *System) stepTicked(cycle int64) {
+	for s.now <= cycle {
+		if s.execTick(s.now) {
+			return
+		}
+		s.now++
+	}
+}
+
+// stepSingle is the single-shard event loop — the engine exactly as it
+// ran before sharding, kept as its own path so every single-channel
+// golden stays byte-identical by construction.
+func (s *System) stepSingle(cycle int64) {
+	sh := s.shards[0]
 	for s.now <= cycle {
 		now := s.now
 		if s.execTick(now) {
 			return
 		}
-		next := s.nextEventTick(now)
+		next := s.singleNextEvent(sh, now)
 		if next > cycle+1 {
 			next = cycle + 1
 		}
 		if n := next - now - 1; n > 0 {
-			s.ctrl.AccountSkip(now, n)
-			for _, c := range s.cores {
+			sh.ctrl.AccountSkip(now, n)
+			for _, c := range sh.cores {
 				c.AccountSkip(n)
 			}
 		}
@@ -215,33 +323,26 @@ func (s *System) StepTo(cycle int64) {
 	}
 }
 
-// execTick runs every component through tick t — injection-port
-// submissions, the controller, the cores, injected-request completion
-// collection — and reports whether the run completed at t.
-func (s *System) execTick(t int64) bool {
-	if s.schedHead < len(s.sched) || s.waitHead < len(s.waiting) {
-		s.admitInjections(t)
+// singleNextEvent lower-bounds the next tick at which any component of
+// the single shard — controller, core, or the injection port — can
+// change state (the historical nextEventTick).
+func (s *System) singleNextEvent(sh *channelShard, now int64) int64 {
+	if sh.waitHead < len(sh.waiting) {
+		// A submission blocked on RNG-queue backpressure retries every
+		// tick: queue space frees inside controller ticks.
+		return now + 1
 	}
-	s.ctrl.Tick(t)
-	done := len(s.cores) > 0
-	for _, c := range s.cores {
-		c.Tick(t)
-		if !c.Finished() {
-			done = false
+	next := sh.componentBound(now)
+	if s.schedHead < len(s.sched) {
+		if t := s.sched[s.schedHead].SubmitTick; t < next {
+			next = t
 		}
 	}
-	if len(s.outstanding) > 0 {
-		s.collectInjections()
-	}
-	if done {
-		s.done = true
-		s.doneTick = t
-	}
-	return done
+	return next
 }
 
-// nextEventTick lower-bounds the next tick at which any component —
-// controller, core, or the injection port — can change state.
+// componentBound lower-bounds the shard's next component event: the
+// cores (with the all-stalled cache) and the controller.
 //
 // The core scan is the per-event cost that grows with the mix, so it is
 // bounded two ways: any core able to act short-circuits to now+1 (no
@@ -250,19 +351,14 @@ func (s *System) execTick(t int64) bool {
 // fully stalled core can only be freed by a request completing or a
 // queue slot opening, both of which bump that counter, so until it
 // moves the cores are provably still stalled and the scan is skipped.
-func (s *System) nextEventTick(now int64) int64 {
-	if s.waitHead < len(s.waiting) {
-		// A submission blocked on RNG-queue backpressure retries every
-		// tick: queue space frees inside controller ticks.
-		return now + 1
-	}
-	next := int64(1) << 62
-	if len(s.cores) > 0 {
-		ev := s.ctrl.UnblockEvents()
-		if !s.coresStalled || ev != s.coresStalledEv {
-			s.coresStalled = false
-			coreMin := int64(1) << 62
-			for _, c := range s.cores {
+func (sh *channelShard) componentBound(now int64) int64 {
+	next := farFuture
+	if len(sh.cores) > 0 {
+		ev := sh.ctrl.UnblockEvents()
+		if !sh.coresStalled || ev != sh.coresStalledEv {
+			sh.coresStalled = false
+			coreMin := farFuture
+			for _, c := range sh.cores {
 				if t := c.NextEventTick(now); t < coreMin {
 					coreMin = t
 					if coreMin <= now+1 {
@@ -273,20 +369,235 @@ func (s *System) nextEventTick(now int64) int64 {
 			if coreMin < next {
 				next = coreMin
 			}
-			if coreMin == int64(1)<<62 {
-				s.coresStalled, s.coresStalledEv = true, ev
+			if coreMin == farFuture {
+				sh.coresStalled, sh.coresStalledEv = true, ev
 			}
 		}
 	}
-	if t := s.ctrl.NextEventTick(now); t < next {
+	if t := sh.ctrl.NextEventTick(now); t < next {
 		next = t
 	}
-	if s.schedHead < len(s.sched) {
-		if t := s.sched[s.schedHead].SubmitTick; t < next {
-			next = t
+	return next
+}
+
+// stepSharded is the multi-shard event loop. Per event it executes only
+// the shards that are due — whose cached bound has arrived, or that
+// just received an arrival — and lazily catches up each executing
+// shard's skip accounting from wherever it last ran. Between events the
+// next tick comes from the indexed bound heap (or the reference scan;
+// EventQueue()), clamped by the next scheduled arrival and the StepTo
+// boundary. At every boundary the remaining accounting is flushed so
+// Result() and the slicing invariant see fully accounted ticks.
+func (s *System) stepSharded(cycle int64) {
+	for s.now <= cycle {
+		t := s.now
+		if s.execDue(t) {
+			s.flushAccounting(s.doneTick)
+			return
+		}
+		next := s.nextShardEvent(t)
+		if s.schedHead < len(s.sched) {
+			if at := s.sched[s.schedHead].SubmitTick; at < next {
+				next = at
+			}
+		}
+		if next > cycle+1 {
+			next = cycle + 1
+		}
+		s.now = next
+	}
+	s.flushAccounting(cycle)
+}
+
+// execDue runs tick t on every due shard (stale bound, pending
+// submissions, or a fresh arrival) after routing the arrivals due at t,
+// and reports whether the run completed at t. Quiescent shards
+// contribute their cached finished-core counts to done detection — a
+// core can only finish at a tick its shard executes.
+func (s *System) execDue(t int64) bool {
+	if s.schedHead < len(s.sched) && s.sched[s.schedHead].SubmitTick <= t {
+		s.routeArrivals(t)
+	}
+	finished := 0
+	for _, sh := range s.shards {
+		if sh.boundValid && sh.bound > t && sh.waitHead >= len(sh.waiting) {
+			finished += sh.finishedCores
+			continue
+		}
+		s.catchUp(sh, t)
+		if sh.waitHead < len(sh.waiting) {
+			s.admitShard(sh, t)
+		}
+		sh.ctrl.Tick(t)
+		fin := 0
+		for _, c := range sh.cores {
+			c.Tick(t)
+			if c.Finished() {
+				fin++
+			}
+		}
+		sh.finishedCores = fin
+		finished += fin
+		if len(sh.outstanding) > 0 {
+			s.collectShard(sh)
+		}
+		sh.accounted = t + 1
+		s.markDirty(sh)
+	}
+	if s.totalCores > 0 && finished == s.totalCores {
+		s.done = true
+		s.doneTick = t
+		return true
+	}
+	return false
+}
+
+// catchUp credits the shard's skipped ticks accounted..t-1 before it
+// executes t. The range lies inside the shard's proven-quiescent window
+// (its bound never overshoots a state change), and AccountSkip over a
+// quiescent window is split-range exact — the blocked/idle predicates
+// it consults cannot flip mid-window — so lazy crediting equals the
+// eager per-event crediting of the single-shard loop.
+func (s *System) catchUp(sh *channelShard, t int64) {
+	if n := t - sh.accounted; n > 0 {
+		sh.ctrl.AccountSkip(sh.accounted-1, n)
+		for _, c := range sh.cores {
+			c.AccountSkip(n)
+		}
+	}
+}
+
+// flushAccounting credits every shard through tick cycle: StepTo
+// boundaries and run completion must leave all ticks <= cycle fully
+// accounted, exactly like the eager loops.
+func (s *System) flushAccounting(cycle int64) {
+	for _, sh := range s.shards {
+		if n := cycle + 1 - sh.accounted; n > 0 {
+			sh.ctrl.AccountSkip(sh.accounted-1, n)
+			for _, c := range sh.cores {
+				c.AccountSkip(n)
+			}
+			sh.accounted = cycle + 1
+		}
+	}
+}
+
+// markDirty queues the shard for a bound recomputation at the next
+// event lookup.
+func (s *System) markDirty(sh *channelShard) {
+	if !sh.queuedDirty {
+		sh.queuedDirty = true
+		sh.boundValid = false
+		s.dirty = append(s.dirty, int32(sh.idx))
+	}
+}
+
+// nextShardEvent refreshes the dirty shards' bounds and returns the
+// minimum next-event tick across shards, through the indexed heap or
+// the reference linear scan.
+func (s *System) nextShardEvent(now int64) int64 {
+	useHeap := s.queue == EventQueueHeap
+	for _, idx := range s.dirty {
+		sh := s.shards[idx]
+		sh.queuedDirty = false
+		b := now + 1
+		if sh.waitHead >= len(sh.waiting) {
+			b = sh.componentBound(now)
+		}
+		sh.bound = b
+		sh.boundValid = true
+		if useHeap {
+			sh.gen++
+			s.heap.push(heapEntry{tick: b, shard: int32(sh.idx), gen: sh.gen})
+		}
+	}
+	s.dirty = s.dirty[:0]
+
+	if useHeap {
+		if s.heap.len() > 2*len(s.shards)+16 {
+			s.heap.compact(func(e heapEntry) bool {
+				return s.shards[e.shard].gen == e.gen
+			})
+		}
+		for {
+			top, ok := s.heap.peek()
+			if !ok {
+				return farFuture
+			}
+			if s.shards[top.shard].gen != top.gen {
+				s.heap.pop()
+				continue
+			}
+			return top.tick
+		}
+	}
+	next := farFuture
+	for _, sh := range s.shards {
+		if sh.bound < next {
+			next = sh.bound
 		}
 	}
 	return next
+}
+
+// execTick runs every shard through tick t in lockstep — arrival
+// routing, injection-port submissions, the controller, the cores,
+// injected-request completion collection — and reports whether the run
+// completed at t. The ticked engine and the single-shard event loop
+// share this path.
+func (s *System) execTick(t int64) bool {
+	if s.schedHead < len(s.sched) {
+		s.routeArrivals(t)
+	}
+	finished := 0
+	for _, sh := range s.shards {
+		if sh.waitHead < len(sh.waiting) {
+			s.admitShard(sh, t)
+		}
+		sh.ctrl.Tick(t)
+		for _, c := range sh.cores {
+			c.Tick(t)
+			if c.Finished() {
+				finished++
+			}
+		}
+		if len(sh.outstanding) > 0 {
+			s.collectShard(sh)
+		}
+	}
+	if s.totalCores > 0 && finished == s.totalCores {
+		s.done = true
+		s.doneTick = t
+		return true
+	}
+	return false
+}
+
+// routeArrivals dispatches every scheduled arrival due at tick t to a
+// shard through the router. Routing happens here — at the exact arrival
+// tick, with the shards' live state — not at InjectRNG time, so queue-
+// and buffer-aware policies see what a real front end would.
+func (s *System) routeArrivals(t int64) {
+	for s.schedHead < len(s.sched) && s.sched[s.schedHead].SubmitTick <= t {
+		ir := s.sched[s.schedHead]
+		s.sched[s.schedHead] = nil
+		s.schedHead++
+		k := 0
+		if len(s.shards) > 1 {
+			k = s.policy.pick(s.shards, ir)
+		}
+		ir.Shard = k
+		sh := s.shards[k]
+		sh.routed++
+		sh.live++
+		if sh.live > sh.peakLive {
+			sh.peakLive = sh.live
+		}
+		sh.waiting = append(sh.waiting, ir)
+	}
+	if s.schedHead == len(s.sched) {
+		s.sched, s.schedHead = s.sched[:0], 0
+	}
 }
 
 // OnInjectionComplete registers fn, called exactly once per injected
@@ -366,34 +677,25 @@ func (s *System) InjectRNG(client int, at int64, words int) *InjectedRequest {
 	return ir
 }
 
-// admitInjections moves arrivals due at tick t into the submission FIFO
-// and submits as many queued words as the controller accepts, in
-// arrival order (head-of-line blocking on RNG-queue backpressure, like
-// a real request front end).
-func (s *System) admitInjections(t int64) {
-	for s.schedHead < len(s.sched) && s.sched[s.schedHead].SubmitTick <= t {
-		s.waiting = append(s.waiting, s.sched[s.schedHead])
-		s.sched[s.schedHead] = nil
-		s.schedHead++
-	}
-	if s.schedHead == len(s.sched) {
-		s.sched, s.schedHead = s.sched[:0], 0
-	}
-	for s.waitHead < len(s.waiting) {
-		ir := s.waiting[s.waitHead]
+// admitShard submits as many of the shard's queued words as its
+// controller accepts, in arrival order (head-of-line blocking on
+// RNG-queue backpressure, like a real request front end).
+func (s *System) admitShard(sh *channelShard, t int64) {
+	for sh.waitHead < len(sh.waiting) {
+		ir := sh.waiting[sh.waitHead]
 		for ir.wordsSubmitted < ir.Words {
-			req, ok := s.ctrl.SubmitRNG(s.clientBase+ir.Client, t)
+			req, ok := sh.ctrl.SubmitRNG(s.clientBase+ir.Client, t)
 			if !ok {
 				// RNG queue full: retry next tick. Under sustained
 				// backpressure arrivals keep appending while the head
 				// barely moves, so reclaim the dead prefix mid-stream
 				// (the memctrl completion FIFOs bound growth the same
 				// way).
-				if s.waitHead > 64 && s.waitHead >= len(s.waiting)/2 {
-					n := copy(s.waiting, s.waiting[s.waitHead:])
-					clear(s.waiting[n:])
-					s.waiting = s.waiting[:n]
-					s.waitHead = 0
+				if sh.waitHead > 64 && sh.waitHead >= len(sh.waiting)/2 {
+					n := copy(sh.waiting, sh.waiting[sh.waitHead:])
+					clear(sh.waiting[n:])
+					sh.waiting = sh.waiting[:n]
+					sh.waitHead = 0
 				}
 				return
 			}
@@ -401,22 +703,23 @@ func (s *System) admitInjections(t int64) {
 			if req.FromBuffer {
 				ir.BufferWords++
 			}
-			s.outstanding = append(s.outstanding, injWord{req: req, ir: ir})
+			sh.outstanding = append(sh.outstanding, injWord{req: req, ir: ir})
 		}
 		ir.AcceptTick = t
-		s.waiting[s.waitHead] = nil
-		s.waitHead++
+		sh.waiting[sh.waitHead] = nil
+		sh.waitHead++
 	}
-	s.waiting, s.waitHead = s.waiting[:0], 0
+	sh.waiting, sh.waitHead = sh.waiting[:0], 0
 }
 
-// collectInjections retires completed injected words, recording each
-// request's completion tick when its last word finishes. The word's
-// controller request is recycled here — the injection port holds the
-// system's last reference, exactly as a core's instruction window does.
-func (s *System) collectInjections() {
-	live := s.outstanding[:0]
-	for _, w := range s.outstanding {
+// collectShard retires the shard's completed injected words, recording
+// each request's completion tick when its last word finishes. The
+// word's controller request is recycled here — the injection port holds
+// the system's last reference, exactly as a core's instruction window
+// does.
+func (s *System) collectShard(sh *channelShard) {
+	live := sh.outstanding[:0]
+	for _, w := range sh.outstanding {
 		if !w.req.Done {
 			live = append(live, w)
 			continue
@@ -429,49 +732,109 @@ func (s *System) collectInjections() {
 		if ir.wordsDone == ir.Words {
 			ir.Done = true
 			s.injLive--
+			sh.live--
+			sh.completed++
+			sh.doneWords += int64(ir.Words)
+			sh.bufWords += int64(ir.BufferWords)
 			if s.onInjDone != nil {
 				s.onInjDone(ir)
 				s.irFree = append(s.irFree, ir)
 			}
 		}
-		s.ctrl.Recycle(w.req)
+		sh.ctrl.Recycle(w.req)
 	}
-	for i := len(live); i < len(s.outstanding); i++ {
-		s.outstanding[i] = injWord{}
+	for i := len(live); i < len(sh.outstanding); i++ {
+		sh.outstanding[i] = injWord{}
 	}
-	s.outstanding = live
+	sh.outstanding = live
+}
+
+// ShardStat is one channel shard's routing and occupancy snapshot:
+// what the router sent it, what it served, and how its RNG buffer is
+// doing. ServePoint carries these per measured load point.
+type ShardStat struct {
+	Shard int
+	// Routed counts requests the router dispatched to this shard;
+	// Completed those fully served. Live is routed-minus-completed at
+	// snapshot time, PeakLive its high-water mark (the shard's queue
+	// occupancy bound).
+	Routed    int64
+	Completed int64
+	Live      int
+	PeakLive  int
+	// BufferHitRate is the fraction of this shard's completed words
+	// served from its RNG buffer.
+	BufferHitRate float64
+	// BufferWords is the buffer's current word count; RNGQueueLen the
+	// controller's RNG queue occupancy.
+	BufferWords int
+	RNGQueueLen int
+}
+
+// ShardStats snapshots every shard's routing/occupancy counters, in
+// shard order.
+func (s *System) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for k, sh := range s.shards {
+		st := ShardStat{
+			Shard:       k,
+			Routed:      sh.routed,
+			Completed:   sh.completed,
+			Live:        sh.live,
+			PeakLive:    sh.peakLive,
+			BufferWords: sh.bufferWords(),
+			RNGQueueLen: sh.ctrl.RNGQueueLen(),
+		}
+		if sh.doneWords > 0 {
+			st.BufferHitRate = float64(sh.bufWords) / float64(sh.doneWords)
+		}
+		out[k] = st
+	}
+	return out
 }
 
 // Result snapshots the run's measurements: per-app outcomes, controller
-// stats, and the energy model over the elapsed ticks. For a completed
-// run this is exactly Run's RunResult; for a still-running System it
-// covers the ticks accounted so far.
+// stats, and the energy model over the elapsed ticks, summed across
+// shards (the energy closed forms are linear in every count, so one
+// Compute over summed counts is exact). For a completed run this is
+// exactly Run's RunResult; for a still-running System it covers the
+// ticks accounted so far. On sharded systems each shard's apps appear
+// with an @s<k> suffix (k > 0).
 func (s *System) Result() RunResult {
 	elapsed := s.now
 	if s.done {
 		elapsed = s.doneTick + 1
 	}
-	res := RunResult{TotalTicks: elapsed, Ctrl: s.ctrl.Stats()}
-	for i, c := range s.cores {
-		st := c.Stats()
-		ticks := st.FinishTick + 1
-		ipc := 0.0
-		if ticks > 0 {
-			ipc = float64(st.Retired) / float64(ticks)
+	res := RunResult{TotalTicks: elapsed}
+	for k, sh := range s.shards {
+		st := sh.ctrl.Stats()
+		res.Ctrl.Add(st)
+		counts := energy.CountsFrom(sh.ctrl.Device(), elapsed, st.RNGRounds)
+		res.Counts.Add(counts)
+		for i, c := range sh.cores {
+			cst := c.Stats()
+			ticks := cst.FinishTick + 1
+			ipc := 0.0
+			if ticks > 0 {
+				ipc = float64(cst.Retired) / float64(ticks)
+			}
+			name := sh.names[i]
+			if k > 0 {
+				name = fmt.Sprintf("%s@s%d", name, k)
+			}
+			res.Apps = append(res.Apps, AppResult{
+				Name:         name,
+				IsRNG:        cst.Rands > 0,
+				Ticks:        ticks,
+				Retired:      cst.Retired,
+				IPC:          ipc,
+				MPKI:         cst.MPKI(),
+				MCPI:         cst.MCPI(),
+				RNGStallFrac: frac(cst.StallRNGTicks, ticks),
+			})
 		}
-		res.Apps = append(res.Apps, AppResult{
-			Name:         s.names[i],
-			IsRNG:        st.Rands > 0,
-			Ticks:        ticks,
-			Retired:      st.Retired,
-			IPC:          ipc,
-			MPKI:         st.MPKI(),
-			MCPI:         st.MCPI(),
-			RNGStallFrac: frac(st.StallRNGTicks, ticks),
-		})
 	}
-	res.Counts = energy.CountsFrom(s.ctrl.Device(), res.TotalTicks, res.Ctrl.RNGRounds)
-	res.Energy = energy.Compute(energy.DDR3Params(), s.mcfg.Timing, res.Counts)
+	res.Energy = energy.Compute(energy.DDR3Params(), s.shards[0].mcfg.Timing, res.Counts)
 	res.MemBusyChannelTicks = res.Counts.ActiveTicks + res.Ctrl.TicksRNGMode
 	return res
 }

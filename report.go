@@ -71,12 +71,30 @@ type ServePointStats struct {
 	PeakOutstanding  int64   `json:"peak_outstanding"`
 	RecycledRequests int64   `json:"recycled_requests"`
 	LatencyBins      int     `json:"latency_bins"`
+	// PerShard is each channel shard's routing/occupancy snapshot after
+	// the point's drain; present only on sharded sweeps (shards > 1), so
+	// single-channel reports keep their historical JSON bytes.
+	PerShard []ShardPointStats `json:"per_shard,omitempty"`
+}
+
+// ShardPointStats is one channel shard's slice of a sharded serve
+// point: how many requests the router sent it, how many it completed,
+// its occupancy high-water mark, and its buffer hit rate.
+type ShardPointStats struct {
+	Shard           int     `json:"shard"`
+	Routed          int64   `json:"routed"`
+	Completed       int64   `json:"completed"`
+	PeakOutstanding int64   `json:"peak_outstanding"`
+	BufferHitRate   float64 `json:"buffer_hit_rate"`
 }
 
 // ServeDesignStats groups one design's per-point pipeline stats, in the
-// scenario's load order.
+// scenario's load order. Shards/Router echo the sharded topology the
+// points were measured on (zero on single-channel sweeps).
 type ServeDesignStats struct {
 	Design string            `json:"design"`
+	Shards int               `json:"shards,omitempty"`
+	Router string            `json:"router,omitempty"`
 	Points []ServePointStats `json:"points"`
 }
 
@@ -178,6 +196,18 @@ func serveStatsFrom(design string, pts []sim.ServePoint) ServeDesignStats {
 			PeakOutstanding:  pt.PeakOutstanding,
 			RecycledRequests: pt.RecycledRequests,
 			LatencyBins:      pt.LatencyBins,
+		}
+		for _, sh := range pt.PerShard {
+			out.Points[i].PerShard = append(out.Points[i].PerShard, ShardPointStats{
+				Shard:           sh.Shard,
+				Routed:          sh.Routed,
+				Completed:       sh.Completed,
+				PeakOutstanding: int64(sh.PeakLive),
+				BufferHitRate:   sh.BufferHitRate,
+			})
+		}
+		if pt.Shards > 1 && out.Shards == 0 {
+			out.Shards, out.Router = pt.Shards, pt.Router
 		}
 	}
 	return out

@@ -49,8 +49,8 @@ const SchemaVersion = 1
 //	run:    Design, Apps, RNGMbps, Priorities, Mechanism, BufferWords,
 //	        Instructions, Seed
 //	serve:  Designs, Loads, Arrival, Burstiness, Clients, RequestBytes,
-//	        WarmupTicks, WindowTicks, Apps (background load),
-//	        Mechanism, BufferWords, Seed
+//	        WarmupTicks, WindowTicks, Shards, Router, Apps (background
+//	        load), Mechanism, BufferWords, Seed
 //	all:    Engine, Workers (execution knobs)
 //
 // Precedence of the execution knobs: a scenario field that is set wins
@@ -120,6 +120,13 @@ type Scenario struct {
 	WarmupTicks *int64 `json:"warmup_ticks,omitempty"`
 	// WindowTicks is the measurement window length (1 tick = 5 ns).
 	WindowTicks int64 `json:"window_ticks,omitempty"`
+	// Shards is the number of independent DRAM channel shards serving
+	// the request stream; 0 defers to DRSTRANGE_SHARDS (then 1, the
+	// paper's single-channel machine). Serve scenarios only.
+	Shards int `json:"shards,omitempty"`
+	// Router names the request routing policy across shards (see
+	// RouterNames); "" defers to DRSTRANGE_ROUTER (then round-robin).
+	Router string `json:"router,omitempty"`
 }
 
 // Option mutates a Scenario under construction (NewScenario).
@@ -195,12 +202,22 @@ func WithWarmupTicks(n int64) Option { return func(s *Scenario) { s.WarmupTicks 
 // WithWindowTicks sets the measurement window length.
 func WithWindowTicks(n int64) Option { return func(s *Scenario) { s.WindowTicks = n } }
 
+// WithShards sets the serve scenario's channel shard count.
+func WithShards(n int) Option { return func(s *Scenario) { s.Shards = n } }
+
+// WithRouter selects the serve scenario's request routing policy.
+func WithRouter(name string) Option { return func(s *Scenario) { s.Router = name } }
+
 // ExperimentIDs lists the accepted figure-scenario experiment ids in
 // stable order (the paper's figure/table identifiers).
 func ExperimentIDs() []string { return sim.ExperimentIDs() }
 
 // DesignNames lists the accepted design names, sorted.
 func DesignNames() []string { return sim.DesignNames() }
+
+// RouterNames lists the accepted serve-scenario router policy names,
+// sorted.
+func RouterNames() []string { return sim.RouterNames() }
 
 // Normalized returns the scenario with the kind-specific semantic
 // defaults filled in, mirroring the simulator's own defaulting
@@ -296,6 +313,8 @@ func (s Scenario) serveOnlyFields() []fieldPresence {
 		{"request_bytes", s.RequestBytes != 0},
 		{"warmup_ticks", s.WarmupTicks != nil},
 		{"window_ticks", s.WindowTicks != 0},
+		{"shards", s.Shards != 0},
+		{"router", s.Router != ""},
 	}
 }
 
@@ -430,6 +449,15 @@ func (s Scenario) Validate() error {
 		if n.WindowTicks < 0 {
 			return fmt.Errorf("window_ticks must be >= 0; got %d", n.WindowTicks)
 		}
+		if n.Shards < 0 {
+			return fmt.Errorf("shards must be >= 0; got %d", n.Shards)
+		}
+		if n.Shards > 1024 {
+			return fmt.Errorf("shards must be <= 1024; got %d", n.Shards)
+		}
+		if n.Router != "" && !sim.ValidRouter(n.Router) {
+			return unknownName("router", n.Router, sim.RouterNames())
+		}
 	}
 	return nil
 }
@@ -514,6 +542,8 @@ func (s Scenario) serveConfig() (sim.ServeConfig, []sim.Design) {
 		WarmupTicks:  *n.WarmupTicks,
 		WindowTicks:  n.WindowTicks,
 		Seed:         n.Seed,
+		Shards:       n.Shards, // 0 defers to DRSTRANGE_SHARDS via ServeConfig.Normalized
+		Router:       n.Router, // "" defers to DRSTRANGE_ROUTER likewise
 	}, designs
 }
 

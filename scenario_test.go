@@ -52,6 +52,15 @@ func goldenScenarios() map[string]Scenario {
 			WarmupTicks:  &warmupZero,
 			WindowTicks:  20000,
 		},
+		"scenario_serve_sharded.json": {
+			Version:     SchemaVersion,
+			Kind:        KindServe,
+			Designs:     []string{"drstrange"},
+			Loads:       []float64{1280, 5120},
+			WindowTicks: 20000,
+			Shards:      4,
+			Router:      "jsq",
+		},
 	}
 }
 
@@ -137,6 +146,12 @@ func TestScenarioValidateRejections(t *testing.T) {
 		{"mechanism on figure", NewScenario(KindFigure, WithFigure("fig6"), WithMechanism("quac")), "mechanism is not meaningful on a figure scenario"},
 		{"apps on figure", NewScenario(KindFigure, WithFigure("fig6"), WithApps("soplex")), "apps is not meaningful on a figure scenario"},
 		{"even invalid design on figure", NewScenario(KindFigure, WithFigure("fig10"), WithDesign("bogus")), "design is not meaningful on a figure scenario"},
+		{"negative shards", NewScenario(KindServe, WithShards(-2)), "shards must be >= 0"},
+		{"excessive shards", NewScenario(KindServe, WithShards(2048)), "shards must be <= 1024"},
+		{"bad router", NewScenario(KindServe, WithRouter("zipf")), `unknown router "zipf" (valid: ` + strings.Join(RouterNames(), ", ")},
+		{"shards on run", NewScenario(KindRun, WithApps("soplex"), WithShards(4)), "shards is only meaningful on a serve scenario"},
+		{"router on run", NewScenario(KindRun, WithApps("soplex"), WithRouter("jsq")), "router is only meaningful on a serve scenario"},
+		{"shards on figure", NewScenario(KindFigure, WithFigure("fig6"), WithShards(4)), "shards is not meaningful on a figure scenario"},
 	}
 	for _, tc := range cases {
 		err := tc.sc.Validate()
@@ -163,6 +178,8 @@ func TestScenarioValidateAccepts(t *testing.T) {
 			WithMechanism("quac"), WithBufferWords(64), WithPriorities(1, 0, 0), WithSeed(9)),
 		NewScenario(KindServe),
 		{Kind: KindServe, Designs: []string{"greedy"}, Loads: []float64{640}, WarmupTicks: &warmup},
+		NewScenario(KindServe, WithShards(16), WithRouter("buffer-aware")),
+		NewScenario(KindServe, WithShards(1)), // explicit single channel
 	}
 	for i, sc := range cases {
 		if err := sc.Validate(); err != nil {
@@ -205,6 +222,20 @@ func TestScenarioDefaultingParity(t *testing.T) {
 	}
 	if ssc.WindowTicks != serveRef.WindowTicks {
 		t.Errorf("window default %d, sim normalize says %d", ssc.WindowTicks, serveRef.WindowTicks)
+	}
+	// Shards/Router stay zero through normalization and lowering — they
+	// defer to DRSTRANGE_SHARDS/DRSTRANGE_ROUTER inside the simulator's
+	// own Normalized, like the other env-backed knobs.
+	if ssc.Shards != 0 || ssc.Router != "" {
+		t.Errorf("scenario normalization pinned topology %d/%q, want deferred zeros", ssc.Shards, ssc.Router)
+	}
+	if got := scfg0.Normalized(); got.Shards != serveRef.Shards || got.Router != serveRef.Router {
+		t.Errorf("lowered topology defaults %d/%q, sim normalize says %d/%q",
+			got.Shards, got.Router, serveRef.Shards, serveRef.Router)
+	}
+	shardedCfg, _ := NewScenario(KindServe, WithShards(4), WithRouter("sticky")).serveConfig()
+	if shardedCfg.Shards != 4 || shardedCfg.Router != "sticky" {
+		t.Errorf("explicit topology lost in lowering: %d/%q", shardedCfg.Shards, shardedCfg.Router)
 	}
 	// The cold-start distinction survives normalization: an explicit 0
 	// warmup must not be "defaulted" back to 20000.
