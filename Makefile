@@ -71,12 +71,13 @@ bench-compare:
 
 # The regression gate CI's bench-compare job enforces: diff against the
 # committed baseline, write the machine-readable delta artifact, and
-# fail only when a gated headline — the saturated serve point's memory
-# or a serving sweep's p99 latency — regresses by more than 25%.
+# fail only when a gated headline — the saturated serve point's memory,
+# a serving sweep's p99 latency, or the degraded sweep's downtime —
+# regresses by more than 25%.
 # Everything else in the diff is informational (micro-benchmark noise
 # on shared runners must not block merges).
 DELTA ?= BENCH_delta.json
-BENCH_GATES = ServeLoadSaturated:B/op,ServeLoadSaturated:allocs/op,ServeLoadSaturated:headline,ServeLoad:headline,ServeLoadSharded:headline
+BENCH_GATES = ServeLoadSaturated:B/op,ServeLoadSaturated:allocs/op,ServeLoadSaturated:headline,ServeLoad:headline,ServeLoadSharded:headline,ServeLoadDegraded:headline
 bench-gate:
 	@test -n "$(NEW)" || { echo "usage: make bench-gate [OLD=old.json] NEW=new.json [DELTA=delta.json]"; exit 2; }
 	$(GO) run ./cmd/benchjson -compare -delta $(DELTA) -maxratio 1.25 -gate $(BENCH_GATES) $(OLD) $(NEW)
@@ -97,8 +98,10 @@ examples-smoke:
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/openloop
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/scenario
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/sharded
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/degraded
 	$(GO) run ./cmd/rngbench -loads 320,1280 -warmup 5000 -window 20000
 	$(GO) run ./cmd/rngbench -loads 1280,5120 -warmup 5000 -window 20000 -shards 1,4 -router jsq
+	$(GO) run ./cmd/rngbench -loads 1280 -warmup 5000 -window 20000 -shards 4 -router jsq -fault bias-ramp
 
 # The canned scenarios/ files for all three kinds run through both
 # CLIs (any CLI runs any kind via -scenario), and the figure scenario's
@@ -129,5 +132,17 @@ scenario-smoke:
 		rm -rf $$tmp; exit 1; \
 	fi; \
 	rm -rf $$tmp; echo "scenario-smoke OK: sharded serve output byte-identical across CLIs"
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/drstrange -scenario scenarios/serve_degraded.json > $$tmp/drstrange.txt; \
+	$(GO) run ./cmd/rngbench -scenario scenarios/serve_degraded.json > $$tmp/rngbench.txt; \
+	if ! diff -u $$tmp/drstrange.txt $$tmp/rngbench.txt; then \
+		echo "degraded serve scenario output differs between the two CLIs"; \
+		rm -rf $$tmp; exit 1; \
+	fi; \
+	if ! diff -u testdata/serve_degraded_golden.txt $$tmp/drstrange.txt; then \
+		echo "degraded serve scenario output drifted from the committed golden"; \
+		rm -rf $$tmp; exit 1; \
+	fi; \
+	rm -rf $$tmp; echo "scenario-smoke OK: degraded serve output matches the committed trip/availability golden"
 
 ci: fmt vet build test race ci-matrix bench-smoke examples-smoke scenario-smoke

@@ -92,6 +92,9 @@ func execute(ctx context.Context, sc Scenario, emit func(Progress)) (*Report, er
 	}
 
 	rep := &Report{Scenario: sc}
+	// Typo detection before anything reads the environment: a
+	// DRSTRANGE_-prefixed variable that names no knob warns once.
+	sim.WarnUnknownEnvKnobs()
 	if sc.Kind != KindServe {
 		// The sharded-topology env knobs only shape serve scenarios;
 		// figure and run kinds always model the paper's single-channel

@@ -191,6 +191,67 @@ func BenchmarkServeLoadSharded(b *testing.B) {
 	b.ReportMetric(pts[0].P99*sim.TickNanos, "headline")
 }
 
+// BenchmarkServeLoadHealthClean is BenchmarkServeLoadSaturated with
+// online entropy health monitoring on over a clean stream: the serving
+// output is byte-identical (the clean-stream goldens pin that), so the
+// only difference is the monitoring work itself. `make bench-json`
+// compares its ns/op against BenchmarkServeLoad... the health_overhead
+// headline — the clean-path observation cost, gated at <= 5%.
+func BenchmarkServeLoadHealthClean(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sim.ServeConfig{
+		Design:      sim.DesignDRStrange,
+		Background:  workload.Mix{Name: "mcf", Apps: []string{"mcf"}},
+		WarmupTicks: 10_000,
+		WindowTicks: 50_000,
+		Seed:        3,
+		Health:      "on",
+	}
+	var pts []sim.ServePoint
+	for i := 0; i < b.N; i++ {
+		pts = sim.ServeLoad(cfg, []float64{5120})
+	}
+	if pts[0].Health == nil || pts[0].Health.Trips != 0 {
+		b.Fatalf("clean stream tripped: %+v", pts[0].Health)
+	}
+	b.ReportMetric(pts[0].P99*sim.TickNanos, "headline")
+}
+
+// BenchmarkServeLoadDegraded is the availability headline: the checked-in
+// degraded scenario's shape (4 shards behind jsq, bias-ramp fault) at a
+// sustainable offered load. The fault trips every shard's continuous
+// health tests mid-window; quarantine, rerouting, deadline failures, and
+// re-qualification all run on the measured path. The headline metric is
+// the window's aggregate downtime in ticks — lower is better, so the
+// 1.25x gate fires when an availability regression grows it; nines,
+// trips, and rerouted_requests track the rest of the degradation story
+// BENCH_*.json pins.
+func BenchmarkServeLoadDegraded(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sim.ServeConfig{
+		Design:      sim.DesignDRStrange,
+		WarmupTicks: 10_000,
+		WindowTicks: 50_000,
+		Seed:        3,
+		Shards:      4,
+		Router:      sim.RouterJSQ,
+		Health:      "on",
+		Fault:       trng.FaultBiasRamp,
+	}
+	var pts []sim.ServePoint
+	for i := 0; i < b.N; i++ {
+		pts = sim.ServeLoad(cfg, []float64{2560})
+	}
+	h := pts[0].Health
+	if h == nil || h.Trips == 0 {
+		b.Fatalf("bias-ramp fault produced no trips: %+v", h)
+	}
+	b.ReportMetric(float64(h.Trips), "trips")
+	b.ReportMetric(float64(h.ReroutedRequests), "rerouted_requests")
+	b.ReportMetric(h.Nines, "nines")
+	b.ReportMetric(float64(h.DowntimeTicks), "headline")
+}
+
 // BenchmarkServeLoadLongWindow holds the offered load at capacity over
 // a 4,000,000-tick window (80x the default; 20 ms of simulated time).
 // Before the streaming pipeline this point materialized every arrival

@@ -16,7 +16,13 @@
 // The snapshot carries a serve_memory headline — B/op and allocs/op of
 // the ServeLoadSaturated benchmark (the streaming serve pipeline at its
 // worst-case point) — so serve-path memory regressions surface at the
-// top of the file, not three screens into the benchmark list.
+// top of the file, not three screens into the benchmark list. When the
+// input also contains ServeLoadHealthClean (the same point with entropy
+// health monitoring on over a clean stream), the snapshot additionally
+// carries a health_overhead headline — the monitored/unmonitored ns/op
+// ratio, computed within the run so host noise cancels — gated at
+// snapshot time by -healthmax (default 1.05: observation may cost at
+// most 5% on the clean path).
 //
 // -compare diffs two snapshots benchmark by benchmark (ns/op, B/op,
 // allocs/op, headline) and is what `make bench-compare` runs. With
@@ -57,18 +63,35 @@ type serveMemory struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// healthOverhead is the clean-path health-monitoring headline: the
+// ns/op ratio of the monitored saturated point over the unmonitored
+// one, computed within a single snapshot (same process, same host, same
+// instruction budget — an intra-run comparison, so runner-to-runner
+// noise cancels out of the ratio).
+type healthOverhead struct {
+	CleanBench string  `json:"clean_bench"`
+	BaseBench  string  `json:"base_bench"`
+	Ratio      float64 `json:"ratio"`
+}
+
 // snapshot is the emitted file: the benchmark list plus enough context
 // to compare like with like across commits.
 type snapshot struct {
-	GeneratedAt string            `json:"generated_at"`
-	Env         map[string]string `json:"env"`
-	ServeMemory *serveMemory      `json:"serve_memory,omitempty"`
-	Benchmarks  []benchResult     `json:"benchmarks"`
+	GeneratedAt    string            `json:"generated_at"`
+	Env            map[string]string `json:"env"`
+	ServeMemory    *serveMemory      `json:"serve_memory,omitempty"`
+	HealthOverhead *healthOverhead   `json:"health_overhead,omitempty"`
+	Benchmarks     []benchResult     `json:"benchmarks"`
 }
 
 // serveMemoryBench names the benchmark whose B/op + allocs/op become
 // the snapshot's serve_memory headline.
 const serveMemoryBench = "ServeLoadSaturated"
+
+// healthOverheadBench names the health-monitored twin of
+// serveMemoryBench; their ns/op ratio is the health_overhead headline,
+// gated by -healthmax at snapshot time.
+const healthOverheadBench = "ServeLoadHealthClean"
 
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<utc timestamp>.json)")
@@ -76,6 +99,7 @@ func main() {
 	delta := flag.String("delta", "", "with -compare, also write the diff as JSON to this path (the CI artifact)")
 	maxRatio := flag.Float64("maxratio", 1.25, "with -compare -gate, fail when a gated new/old ratio exceeds this")
 	gate := flag.String("gate", "", "with -compare, comma-separated Benchmark:metric pairs to enforce (e.g. ServeLoadSaturated:B/op,ServeLoad:headline)")
+	healthMax := flag.Float64("healthmax", 1.05, "fail snapshot creation when the clean-path health-monitoring ns/op overhead (ServeLoadHealthClean / ServeLoadSaturated) exceeds this ratio")
 	flag.Parse()
 
 	if *compare {
@@ -106,7 +130,8 @@ func main() {
 		Env:         map[string]string{},
 	}
 	for _, k := range []string{"DRSTRANGE_INSTR", "DRSTRANGE_WORKERS", "DRSTRANGE_ENGINE",
-		"DRSTRANGE_EVENTQ", "DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER"} {
+		"DRSTRANGE_EVENTQ", "DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER",
+		"DRSTRANGE_HEALTH", "DRSTRANGE_FAULT"} {
 		if v := os.Getenv(k); v != "" {
 			snap.Env[k] = v
 		}
@@ -129,13 +154,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	var baseNs, cleanNs float64
 	for _, b := range snap.Benchmarks {
 		if b.Name == serveMemoryBench {
+			baseNs = b.Metrics["ns/op"]
 			snap.ServeMemory = &serveMemory{
 				Benchmark:   b.Name,
 				BytesPerOp:  b.Metrics["B/op"],
 				AllocsPerOp: b.Metrics["allocs/op"],
 			}
+		}
+		if b.Name == healthOverheadBench {
+			cleanNs = b.Metrics["ns/op"]
+		}
+	}
+	if baseNs > 0 && cleanNs > 0 {
+		snap.HealthOverhead = &healthOverhead{
+			CleanBench: healthOverheadBench,
+			BaseBench:  serveMemoryBench,
+			Ratio:      cleanNs / baseNs,
 		}
 	}
 
@@ -153,6 +190,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	if h := snap.HealthOverhead; h != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: clean-path health overhead %.3fx (%s / %s, gate %.2fx)\n",
+			h.Ratio, h.CleanBench, h.BaseBench, *healthMax)
+		if h.Ratio > *healthMax {
+			fmt.Fprintf(os.Stderr, "benchjson: health-monitoring overhead exceeds the %.2fx clean-path gate\n", *healthMax)
+			os.Exit(1)
+		}
+	}
 }
 
 // loadSnapshot reads one emitted BENCH_*.json file.

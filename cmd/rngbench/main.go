@@ -21,6 +21,12 @@
 // topology — one report per shard count, same loads — which is how the
 // capacity story past the single-channel ~2.56 Gb/s ceiling is plotted.
 //
+// -health enables online entropy health monitoring (continuous
+// SP 800-90B-style tests per shard, with trip/quarantine/availability
+// accounting in the report), and -fault schedules a deterministic
+// entropy degradation (bias-ramp, stuck-bits, burst) to exercise it; a
+// -fault implies -health on.
+//
 // Usage examples:
 //
 //	rngbench
@@ -30,6 +36,7 @@
 //	rngbench -scenario scenarios/serve-sweep.json -json
 //	rngbench -loads 5120 -window 1000000 -cpuprofile cpu.pb -memprofile mem.pb
 //	rngbench -designs drstrange -loads 2560,5120 -shards 1,4,16 -router jsq
+//	rngbench -designs drstrange -loads 1280 -shards 4 -router jsq -fault bias-ramp
 package main
 
 import (
@@ -65,6 +72,10 @@ func main() {
 		"channel shard count (default DRSTRANGE_SHARDS or 1); a comma-separated list sweeps the topology, one report per count")
 	router := flag.String("router", "",
 		"request router across shards: "+strings.Join(drstrange.RouterNames(), "|")+" (default DRSTRANGE_ROUTER or round-robin)")
+	health := flag.String("health", "",
+		"online entropy health monitoring: on|off (default DRSTRANGE_HEALTH or off; a -fault implies on)")
+	fault := flag.String("fault", "",
+		"injected entropy fault profile: "+strings.Join(drstrange.FaultNames(), "|")+" (default DRSTRANGE_FAULT or none)")
 	common := cliflag.Register("rngbench")
 	flag.Parse()
 
@@ -109,6 +120,12 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["router"] {
 		sc.Router = *router
+	}
+	if set["health"] {
+		sc.Health = *health
+	}
+	if set["fault"] {
+		sc.Fault = *fault
 	}
 	if len(shardCounts) == 1 {
 		sc.Shards = shardCounts[0]

@@ -11,7 +11,8 @@
 // process — instead of a pile of flags:
 //
 //   - KindFigure replays one of the paper's figure/table drivers
-//     ("fig1" ... "fig18", "sec6", "sec8.8", "sec8.9", "table1").
+//     ("fig1" ... "fig18", "sec6", "sec6-adv", "sec8.8", "sec8.9",
+//     "table1").
 //   - KindRun evaluates one closed-loop workload (shared run plus
 //     alone-run baselines) and reports the paper's derived metrics.
 //   - KindServe sweeps open-loop offered load over a design comparison
@@ -78,7 +79,11 @@
 //     which the handle returns to a freelist and is reused by a later
 //     injection. Hook contract: the callback must copy what it needs,
 //     must not retain the pointer past its return, and must not call
-//     back into the System.
+//     back into the System. The controller's entropy-round hook
+//     (internal/memctrl Config.OnRNGRound, how health monitoring
+//     observes each shard's generated words) carries the same
+//     contract: it fires synchronously after a round's bits are
+//     credited, and must not re-enter the controller.
 //   - Drain progress polls the O(1) outstanding-request count rather
 //     than scanning a request slice.
 //
@@ -107,11 +112,32 @@
 // One shard caps at D-RaNGe's 2.56 Gb/s aggregate; examples/sharded
 // and `rngbench -shards 1,4,16` show the capacity knee moving with N.
 //
+// # Entropy health and availability
+//
+// A serve scenario's Health field ("on") puts a zero-allocation
+// streaming health monitor on every shard's entropy stream: each
+// emitted 64-bit word passes the NIST SP 800-90B continuous tests
+// (repetition count, adaptive proportion, both at byte granularity)
+// plus a windowed monobit drift check before it may serve a request.
+// Monitoring a clean stream is invisible — serve output with Health
+// "on" is byte-identical to the unmonitored run. A trip quarantines
+// the shard (buffer purged, fills and hits gated) until a clean
+// re-qualification window passes; routers route around tripped shards
+// and head-of-line requests deadline-fail when no shard is healthy.
+// The Fault field injects deterministic degradation (trng.FaultNames:
+// "bias-ramp", "burst", "stuck-bits") as a pure function of the
+// simulated tick, so trip ticks and recovery replay byte-identically
+// across engines and event-queue implementations. Monitored points
+// report trips, downtime, failed/rerouted requests, and availability
+// (with its nines) in aggregate and per shard; availability counts
+// shard-ticks up within the measurement window only.
+//
 // # Environment knobs
 //
-// Six environment variables tune every driver and benchmark (their
+// Eight environment variables tune every driver and benchmark (their
 // accepted values are documented and validated in internal/sim/env.go;
-// invalid settings warn once on stderr and fall back):
+// invalid settings warn once on stderr and fall back, and an unknown
+// DRSTRANGE_-prefixed variable — a typo — is called out once too):
 //
 //   - DRSTRANGE_INSTR sets the per-core instruction budget of a
 //     measured run (default 100000).
@@ -127,6 +153,12 @@
 //     (default 1). Warned and ignored on non-serve kinds.
 //   - DRSTRANGE_ROUTER defaults the serve-scenario request router
 //     (default "round-robin"). Warned and ignored on non-serve kinds.
+//   - DRSTRANGE_HEALTH defaults serve-scenario entropy health
+//     monitoring: "on" or "off" (default). Warned and ignored on
+//     non-serve kinds.
+//   - DRSTRANGE_FAULT defaults the serve-scenario fault profile
+//     (default none; setting one requires health monitoring on).
+//     Warned and ignored on non-serve kinds.
 //
 // Scenario fields take precedence over the environment when set; unset
 // fields defer to it, so serialized scenarios stay portable across

@@ -137,6 +137,15 @@ type Config struct {
 	// OnIdlePeriod, when non-nil, observes every ended idle period
 	// (channel, length in cycles). Used by the Figure 5/18 profiles.
 	OnIdlePeriod func(ch int, length int64)
+
+	// OnRNGRound, when non-nil, observes every completed TRNG
+	// generation round (channel, completion tick), after the round's
+	// bits are credited. Same hook contract as the system's completion
+	// hook: the callback must not call back into the controller's
+	// stepping methods; SetEntropySuspect is the one sanctioned
+	// re-entry (it only flips serve gating and drains the buffer).
+	// Used by the online health monitor to observe the word stream.
+	OnRNGRound func(ch int, now int64)
 }
 
 // DefaultConfig returns the paper's Table 1 configuration with the

@@ -97,6 +97,13 @@ type Controller struct {
 	// UnblockEvents.
 	unblocks int64
 
+	// entropySuspect quarantines the controller's entropy output: the
+	// online health monitor tripped, so buffered words must not be
+	// served and the buffer must not be refilled until the source
+	// re-qualifies. Demand-mode generation still runs (a request that
+	// must be served gets freshly generated, still-monitored bits).
+	entropySuspect bool
+
 	stats Stats
 }
 
@@ -169,6 +176,22 @@ func (c *Controller) Recycle(r *Request) {
 		c.free = append(c.free, r)
 	}
 }
+
+// SetEntropySuspect flips the entropy quarantine. Entering quarantine
+// purges the random number buffer — its words were produced by the
+// stream that just failed its health tests, so they are discarded, not
+// served. Leaving quarantine re-enables buffer serving and filling;
+// the buffer refills from scratch.
+func (c *Controller) SetEntropySuspect(suspect bool) {
+	if suspect && !c.entropySuspect && c.cfg.Buffer != nil {
+		for c.cfg.Buffer.Words() > 0 && c.cfg.Buffer.TakeWord() {
+		}
+	}
+	c.entropySuspect = suspect
+}
+
+// EntropySuspect reports whether the controller is quarantined.
+func (c *Controller) EntropySuspect() bool { return c.entropySuspect }
 
 // UnblockEvents returns a monotone counter of events that could unstall
 // a fully stalled core: a request completing (Done set) or a request
@@ -253,7 +276,10 @@ func (c *Controller) SubmitRNG(core int, now int64) (*Request, bool) {
 	c.isRNGApp[core] = true
 	if c.cfg.Policy == RNGAware {
 		hit := false
-		if pb, ok := c.cfg.Buffer.(PartitionedBuffer); ok {
+		if c.entropySuspect {
+			// Quarantined: never serve from the buffer; fall through to
+			// the RNG queue for fresh, still-monitored generation.
+		} else if pb, ok := c.cfg.Buffer.(PartitionedBuffer); ok {
 			hit = pb.TakeWordFor(core)
 		} else if c.cfg.Buffer != nil {
 			hit = c.cfg.Buffer.TakeWord()
@@ -547,6 +573,9 @@ func (c *Controller) advanceRNGMode(chIdx int, now int64) {
 	case modeRound:
 		c.stats.RNGRounds++
 		c.creditBits(chIdx, c.cfg.Mech.RoundBits, now)
+		if c.cfg.OnRNGRound != nil {
+			c.cfg.OnRNGRound(chIdx, now)
+		}
 		if c.shouldContinue(chIdx, now) {
 			c.startRound(chIdx, now)
 		} else {
@@ -578,6 +607,7 @@ func (c *Controller) shouldContinue(chIdx int, now int64) bool {
 		// channel remains idle after random number generation,
 		// DR-STRaNGe continues to fill the random number buffer").
 		if c.cfg.Policy == RNGAware && c.cfg.Fill == FillPredictor &&
+			!c.entropySuspect &&
 			c.cfg.Buffer != nil && !c.cfg.Buffer.Full() &&
 			len(cs.readQ) == 0 && len(cs.writeQ) == 0 {
 			cs.ctx = ctxFill
@@ -588,7 +618,7 @@ func (c *Controller) shouldContinue(chIdx int, now int64) bool {
 		if cs.oneShot {
 			return false
 		}
-		if c.cfg.Buffer == nil || c.cfg.Buffer.Full() {
+		if c.entropySuspect || c.cfg.Buffer == nil || c.cfg.Buffer.Full() {
 			return false
 		}
 		// A fill excursion is an idle-period batch: once committed,
@@ -701,7 +731,7 @@ func (c *Controller) creditBits(chIdx int, bits float64, now int64) {
 			}
 		}
 	}
-	if bits > 0 && c.cfg.Buffer != nil && c.cfg.Policy == RNGAware {
+	if bits > 0 && c.cfg.Buffer != nil && c.cfg.Policy == RNGAware && !c.entropySuspect {
 		c.cfg.Buffer.AddBits(bits)
 	}
 }
@@ -877,7 +907,7 @@ func (c *Controller) idleBookkeeping(chIdx int, now int64) {
 // since the last RNG-mode excursion so fills cannot thrash the channel.
 func (c *Controller) fillTriggerReady(chIdx int, now int64, queuesEmpty bool) bool {
 	cs := &c.chans[chIdx]
-	if c.cfg.Buffer == nil || c.cfg.Buffer.Full() || len(c.rngQ) > 0 {
+	if c.entropySuspect || c.cfg.Buffer == nil || c.cfg.Buffer.Full() || len(c.rngQ) > 0 {
 		return false
 	}
 	if now < cs.fillCooldownUntil || cs.draining || cs.issuedThisTick {

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+
+	"drstrange/internal/core"
+	"drstrange/internal/memctrl"
+	"drstrange/internal/trng"
+)
+
+// Adversarial interference under entropy health monitoring: Section 6's
+// attacker times its own RNG requests to learn whether a victim is
+// draining the random number buffer. Health monitoring adds a third
+// actor — the entropy source itself can degrade, trip the continuous
+// tests, and quarantine the channel. This experiment measures the
+// attacker's view across that lifecycle: while the source is healthy,
+// while it is quarantined (the buffer is purged and bypassed, so every
+// probe is served on demand), and after re-qualification.
+//
+// The interesting interaction is that quarantine closes the timing
+// channel as a side effect: with buffer serving suspended, probe
+// latency no longer depends on the victim's drain pattern, so the
+// attacker's advantage collapses to ~0 for the duration — at the cost
+// of every request paying on-demand generation latency.
+
+// adversaryHarness is the two-party security harness plus one shard's
+// health-monitoring loop (health.go), driven manually.
+type adversaryHarness struct {
+	*securityHarness
+	mon       *trng.HealthMonitor
+	stream    trng.EntropyStream
+	roundBits float64
+
+	tripped      bool
+	suspectUntil int64
+	requalTicks  int64
+	trips        int64
+}
+
+func newAdversaryHarness(seed uint64) *adversaryHarness {
+	hc := trng.DefaultHealthConfig()
+	h := &adversaryHarness{
+		mon:          trng.NewHealthMonitor(hc),
+		stream:       trng.NewEntropyStream(seed, trng.FaultProfile{}),
+		roundBits:    trng.DRaNGe().RoundBits,
+		requalTicks:  hc.RequalTicks,
+		suspectUntil: farFuture,
+	}
+	cfg := memctrl.DefaultConfig(2)
+	cfg.Policy = memctrl.RNGAware
+	cfg.Fill = memctrl.FillPredictor // nil predictor: fill every idle period
+	cfg.Buffer = core.NewRandBuffer(16)
+	cfg.OnRNGRound = func(_ int, now int64) { h.observeRound(now) }
+	ctrl, err := memctrl.NewController(cfg)
+	if err != nil {
+		panic(err)
+	}
+	h.securityHarness = &securityHarness{ctrl: ctrl, onTick: h.healthTick}
+	return h
+}
+
+// observeRound mirrors System.observeRound: credit the round, emit the
+// crossed words, observe unless quarantined, trip on a bad verdict.
+func (h *adversaryHarness) observeRound(now int64) {
+	for n := h.stream.Credit(h.roundBits); n > 0; n-- {
+		w := h.stream.Emit(now)
+		if h.tripped {
+			continue
+		}
+		if h.mon.ObserveWord(w) != trng.HealthOK {
+			h.tripped = true
+			h.suspectUntil = now + h.requalTicks
+			h.trips++
+			h.ctrl.SetEntropySuspect(true)
+		}
+	}
+}
+
+// healthTick is the per-tick recovery policy, hooked into the harness's
+// clock.
+func (h *adversaryHarness) healthTick(now int64) {
+	if h.tripped && now >= h.suspectUntil {
+		h.tripped = false
+		h.ctrl.SetEntropySuspect(false)
+		h.mon.Reset()
+	}
+}
+
+// forceTrip swaps in a permanently faulted word stream (an unbounded
+// burst starting now) and drains the buffer until a generation round
+// carries the faulted words into the monitor. The quarantine is pinned
+// open (suspectUntil = farFuture) so the degraded probe phase measures
+// a stable quarantined system.
+func (h *adversaryHarness) forceTrip(seed uint64) {
+	h.stream = trng.NewEntropyStream(seed, trng.FaultProfile{
+		Kind:        trng.FaultBurst,
+		StartTick:   h.now,
+		PeriodTicks: 1 << 40,
+		BurstTicks:  1 << 40,
+	})
+	for i := 0; i < 1000 && !h.tripped; i++ {
+		h.request(0)
+	}
+	if !h.tripped {
+		panic("sim: adversary harness failed to trip on an all-zero stream")
+	}
+	h.suspectUntil = farFuture
+}
+
+// requalify ends the pinned quarantine: restore a clean stream, let the
+// recovery policy fire on the next tick, and re-warm the buffer.
+func (h *adversaryHarness) requalify(seed uint64) {
+	h.stream = trng.NewEntropyStream(seed, trng.FaultProfile{})
+	h.suspectUntil = h.now
+	h.tick(2000) // recover on the first tick, then refill the buffer
+}
+
+// bscCapacity is the binary symmetric channel capacity (bits per probe
+// window) of a covert channel with distinguishing advantage adv.
+func bscCapacity(adv float64) float64 {
+	errP := (1 - adv) / 2
+	if errP <= 0 || errP >= 1 {
+		return 1
+	}
+	return 1 + errP*math.Log2(errP) + (1-errP)*math.Log2(1-errP)
+}
+
+// HealthAdversary measures the buffer timing side channel through a
+// trip/quarantine/re-qualification cycle. Deterministic: the harness,
+// probe schedule, and fault schedule are pure functions of the fixed
+// seeds and tick clock.
+func HealthAdversary(instr int64) []Figure {
+	trials := int(instr / 1000)
+	if trials < 30 {
+		trials = 30
+	}
+	if trials > 1000 {
+		trials = 1000
+	}
+	f := Figure{
+		ID:     "Section6-adv",
+		Title:  "Buffer timing side channel across an entropy-fault quarantine cycle",
+		Labels: []string{"miss idle", "miss active", "advantage", "bits/window"},
+	}
+	h := newAdversaryHarness(0x5EC6ADF0)
+	h.tick(2000) // warm the buffer
+
+	phase := func(name string) {
+		idle := h.probePhase(trials, false)
+		active := h.probePhase(trials, true)
+		adv := math.Abs(active.missRate - idle.missRate)
+		f.Series = append(f.Series, Series{Name: name, Values: []float64{
+			idle.missRate, active.missRate, adv, bscCapacity(adv),
+		}})
+	}
+	phase("healthy")
+	h.forceTrip(0x5EC6ADF1)
+	phase("quarantined")
+	h.requalify(0x5EC6ADF2)
+	phase("recovered")
+
+	f.Notes = append(f.Notes,
+		"quarantine purges and bypasses the buffer, so probe latency stops depending on the victim: the channel closes while entropy is suspect",
+		"after re-qualification the buffer refills and the healthy-phase channel returns")
+	return []Figure{f}
+}

@@ -25,18 +25,32 @@ package sim
 //	DRSTRANGE_ROUTER   router policy name of serve scenarios (default
 //	                   round-robin; see RouterNames). Serve-only, like
 //	                   DRSTRANGE_SHARDS.
+//	DRSTRANGE_HEALTH   "on" or "off" (default) — online entropy health
+//	                   monitoring of serve scenarios. Serve-only, like
+//	                   DRSTRANGE_SHARDS. A configured fault implies
+//	                   "on".
+//	DRSTRANGE_FAULT    fault profile name of serve scenarios (see
+//	                   trng.FaultNames: bias-ramp, stuck-bits, burst;
+//	                   default none). Serve-only; implies health
+//	                   monitoring unless health is explicitly "off".
 //
 // A knob set to anything outside its accepted values is ignored with a
 // single warning on stderr (it used to fall back silently, which made
 // typos like DRSTRANGE_INSTR=1e6 indistinguishable from the default).
+// An environment variable with the DRSTRANGE_ prefix that names no knob
+// at all (DRSTRANGE_SHARD, say) also warns once — see
+// WarnUnknownEnvKnobs.
 
 import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+
+	"drstrange/internal/trng"
 )
 
 var (
@@ -147,16 +161,89 @@ func DefaultRouter() string {
 	return v
 }
 
+// DefaultHealth resolves the serve layer's health-monitoring switch:
+// DRSTRANGE_HEALTH, or "off". Anything but "on"/"off" warns once and
+// falls back.
+func DefaultHealth() string {
+	switch v := os.Getenv("DRSTRANGE_HEALTH"); v {
+	case "", "off":
+		return "off"
+	case "on":
+		return "on"
+	default:
+		envWarnOnce("DRSTRANGE_HEALTH",
+			fmt.Sprintf("ignoring DRSTRANGE_HEALTH=%q: want \"on\" or \"off\"", v))
+		return "off"
+	}
+}
+
+// DefaultFault resolves the serve layer's injected fault profile:
+// DRSTRANGE_FAULT, or none. An unknown name warns once (with the
+// sorted valid list) and falls back to no fault.
+func DefaultFault() string {
+	v := os.Getenv("DRSTRANGE_FAULT")
+	if v == "" {
+		return ""
+	}
+	if !trng.ValidFault(v) {
+		envWarnOnce("DRSTRANGE_FAULT",
+			fmt.Sprintf("ignoring DRSTRANGE_FAULT=%q: want one of %s", v, strings.Join(trng.FaultNames(), ", ")))
+		return ""
+	}
+	return v
+}
+
 // WarnIgnoredServeKnobs warns once per knob when the serve-only
-// topology knobs are set in the environment of a non-serve scenario
+// knobs are set in the environment of a non-serve scenario
 // kind: a figure or closed-loop run always models the paper's
-// single-channel machine, so a set DRSTRANGE_SHARDS/DRSTRANGE_ROUTER
-// would otherwise be silently dead.
+// single-channel machine without health monitoring, so a set
+// DRSTRANGE_SHARDS/ROUTER/HEALTH/FAULT would otherwise be silently
+// dead.
 func WarnIgnoredServeKnobs(kind string) {
-	for _, knob := range []string{"DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER"} {
+	for _, knob := range []string{"DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER", "DRSTRANGE_HEALTH", "DRSTRANGE_FAULT"} {
 		if os.Getenv(knob) != "" {
 			envWarnOnce(knob,
 				fmt.Sprintf("%s applies only to serve scenarios; ignored on kind %q", knob, kind))
 		}
 	}
+}
+
+// knownEnvKnobs is the complete DRSTRANGE_ namespace. WarnUnknownEnvKnobs
+// checks the environment against it; keep it in sync with the doc block
+// above.
+var knownEnvKnobs = map[string]bool{
+	"DRSTRANGE_INSTR":   true,
+	"DRSTRANGE_WORKERS": true,
+	"DRSTRANGE_ENGINE":  true,
+	"DRSTRANGE_EVENTQ":  true,
+	"DRSTRANGE_SHARDS":  true,
+	"DRSTRANGE_ROUTER":  true,
+	"DRSTRANGE_HEALTH":  true,
+	"DRSTRANGE_FAULT":   true,
+}
+
+// WarnUnknownEnvKnobs warns once per variable about environment
+// variables in the DRSTRANGE_ namespace that name no knob at all —
+// typo detection (DRSTRANGE_SHARD for DRSTRANGE_SHARDS), since a
+// misspelled knob is otherwise indistinguishable from an unset one.
+// The public API's entry points call it once per execution.
+func WarnUnknownEnvKnobs() {
+	for _, kv := range os.Environ() {
+		name, _, ok := strings.Cut(kv, "=")
+		if !ok || !strings.HasPrefix(name, "DRSTRANGE_") || knownEnvKnobs[name] {
+			continue
+		}
+		envWarnOnce(name,
+			fmt.Sprintf("unrecognized environment variable %s (known knobs: %s)", name, strings.Join(sortedEnvKnobs(), ", ")))
+	}
+}
+
+// sortedEnvKnobs lists the known knob names, sorted.
+func sortedEnvKnobs() []string {
+	out := make([]string, 0, len(knownEnvKnobs))
+	for k := range knownEnvKnobs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"drstrange/internal/trng"
 )
 
 // captureEnvWarnings redirects knob warnings into a buffer and clears
@@ -162,5 +164,97 @@ func TestWarnIgnoredServeKnobs(t *testing.T) {
 	WarnIgnoredServeKnobs("run")
 	if buf2.Len() != 0 {
 		t.Errorf("unset knobs warned: %q", buf2.String())
+	}
+
+	// The health knobs are serve-only too.
+	buf3 := captureEnvWarnings(t, "DRSTRANGE_HEALTH", "DRSTRANGE_FAULT")
+	t.Setenv("DRSTRANGE_HEALTH", "on")
+	t.Setenv("DRSTRANGE_FAULT", "burst")
+	WarnIgnoredServeKnobs("figure")
+	for _, knob := range []string{"DRSTRANGE_HEALTH", "DRSTRANGE_FAULT"} {
+		if n := strings.Count(buf3.String(), knob); n != 1 {
+			t.Errorf("%s warned %d times, want 1:\n%s", knob, n, buf3.String())
+		}
+	}
+}
+
+// TestEnvHealthKnobs pins DRSTRANGE_HEALTH/DRSTRANGE_FAULT: valid
+// values apply, bad values warn once and fall back, and the fault
+// warning names the sorted accepted list.
+func TestEnvHealthKnobs(t *testing.T) {
+	buf := captureEnvWarnings(t, "DRSTRANGE_HEALTH", "DRSTRANGE_FAULT")
+
+	t.Setenv("DRSTRANGE_HEALTH", "on")
+	if got := DefaultHealth(); got != "on" {
+		t.Errorf("DRSTRANGE_HEALTH=on: got %q", got)
+	}
+	t.Setenv("DRSTRANGE_HEALTH", "off")
+	if got := DefaultHealth(); got != "off" {
+		t.Errorf("DRSTRANGE_HEALTH=off: got %q", got)
+	}
+	t.Setenv("DRSTRANGE_HEALTH", "")
+	if got := DefaultHealth(); got != "off" {
+		t.Errorf("unset DRSTRANGE_HEALTH: got %q, want off", got)
+	}
+	t.Setenv("DRSTRANGE_FAULT", trng.FaultBiasRamp)
+	if got := DefaultFault(); got != trng.FaultBiasRamp {
+		t.Errorf("DRSTRANGE_FAULT=bias-ramp: got %q", got)
+	}
+	t.Setenv("DRSTRANGE_FAULT", "")
+	if got := DefaultFault(); got != "" {
+		t.Errorf("unset DRSTRANGE_FAULT: got %q, want none", got)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("valid knobs warned: %q", buf.String())
+	}
+
+	t.Setenv("DRSTRANGE_HEALTH", "maybe")
+	for i := 0; i < 3; i++ {
+		if got := DefaultHealth(); got != "off" {
+			t.Errorf("DRSTRANGE_HEALTH=maybe: got %q, want off", got)
+		}
+	}
+	if n := strings.Count(buf.String(), "DRSTRANGE_HEALTH"); n != 1 {
+		t.Errorf("bad DRSTRANGE_HEALTH warned %d times, want 1:\n%s", n, buf.String())
+	}
+	t.Setenv("DRSTRANGE_FAULT", "meteor")
+	for i := 0; i < 3; i++ {
+		if got := DefaultFault(); got != "" {
+			t.Errorf("DRSTRANGE_FAULT=meteor: got %q, want none", got)
+		}
+	}
+	if n := strings.Count(buf.String(), "DRSTRANGE_FAULT"); n != 1 {
+		t.Errorf("bad DRSTRANGE_FAULT warned %d times, want 1:\n%s", n, buf.String())
+	}
+	if want := strings.Join(trng.FaultNames(), ", "); !strings.Contains(buf.String(), want) {
+		t.Errorf("fault warning does not list the valid names %q: %q", want, buf.String())
+	}
+}
+
+// TestWarnUnknownEnvKnobs pins typo detection: a DRSTRANGE_-prefixed
+// variable that names no knob warns once (listing the known knobs), a
+// known knob never does, and other prefixes are never scanned.
+func TestWarnUnknownEnvKnobs(t *testing.T) {
+	buf := captureEnvWarnings(t, "DRSTRANGE_SHARD", "DRSTRANGE_SHARDS", "DRSTRANGE_FAULTY")
+	t.Setenv("DRSTRANGE_SHARD", "4") // typo for DRSTRANGE_SHARDS
+	t.Setenv("DRSTRANGE_FAULTY", "burst")
+	t.Setenv("DRSTRANGE_SHARDS", "2") // known: silent
+	t.Setenv("OTHERPREFIX_KNOB", "1") // out of namespace: silent
+	WarnUnknownEnvKnobs()
+	WarnUnknownEnvKnobs()
+	out := buf.String()
+	for _, name := range []string{"DRSTRANGE_SHARD", "DRSTRANGE_FAULTY"} {
+		if n := strings.Count(out, "variable "+name+" "); n != 1 {
+			t.Errorf("%s warned %d times, want 1:\n%s", name, n, out)
+		}
+	}
+	if strings.Contains(out, "variable DRSTRANGE_SHARDS ") {
+		t.Errorf("known knob DRSTRANGE_SHARDS warned: %q", out)
+	}
+	if strings.Contains(out, "OTHERPREFIX") {
+		t.Errorf("out-of-namespace variable warned: %q", out)
+	}
+	if !strings.Contains(out, "DRSTRANGE_HEALTH") {
+		t.Errorf("warning does not list the known knobs: %q", out)
 	}
 }

@@ -763,6 +763,9 @@ var Experiments = map[string]func(ctx context.Context, instr int64) []Figure{
 	"sec6": func(ctx context.Context, instr int64) []Figure {
 		return append(SecurityAnalysis(instr), PartitionCost(ctx, instr)...)
 	},
+	"sec6-adv": func(_ context.Context, instr int64) []Figure {
+		return HealthAdversary(instr)
+	},
 	"table1": func(context.Context, int64) []Figure { return Table1() },
 }
 

@@ -90,6 +90,11 @@ func runKey(cfg RunConfig) string {
 		cfg.Design, strings.Join(cfg.Mix.Apps, ","), cfg.Mix.RNGMbps,
 		cfg.Mech.Name, cfg.BufferWords, cfg.Instructions, cfg.Seed, cfg.Priorities, cfg.TweakID,
 		cfg.Clients, Engine(), cfg.Shards, cfg.Router, EventQueue())
+	if cfg.Health.Enabled {
+		// Health monitoring changes the built System; keyed only when
+		// enabled so every historical key keeps its exact bytes.
+		fmt.Fprintf(&b, "|h%+v|f%+v", cfg.Health, cfg.Fault)
+	}
 	return b.String()
 }
 

@@ -14,6 +14,16 @@ import "sort"
 // index, so runs are byte-identical across engines, event-queue modes,
 // and StepTo slicings (the router sees identical shard state at every
 // arrival tick under all of them, by the engine invariant).
+//
+// When health monitoring is on and part of the fleet is tripped
+// (health.go), the system dispatches through pickHealthy instead: the
+// same policy restricted to healthy shards, with a defined failover
+// order so degraded runs stay exactly as deterministic as clean ones.
+// Index-order policies (round-robin, sticky) fail over by ascending
+// scan from the natural choice, wrapping; score-based policies (jsq,
+// buffer-aware) apply their scoring over the healthy subset with the
+// same lowest-index tie-breaks. The reported rerouted flag is true
+// when the unrestricted policy would have chosen a tripped shard.
 
 // Router policy names accepted by RunConfig.Router, ServeConfig.Router,
 // the scenario schema's "router" field, and DRSTRANGE_ROUTER.
@@ -52,8 +62,28 @@ func ValidRouter(name string) bool {
 
 // routePolicy picks the serving shard for one arriving request. pick is
 // called at the request's arrival tick with the shards' live state.
+// pickHealthy is the health-restricted variant, called only while the
+// fleet is partially degraded (at least one healthy and one tripped
+// shard): it must return a healthy shard, and reports whether the
+// unrestricted pick would have landed on a tripped one (the request
+// counts as rerouted). Policies with internal state (round-robin's
+// cursor) must advance it identically on both paths, so switching
+// between them mid-run never desynchronizes the sequence.
 type routePolicy interface {
 	pick(shards []*channelShard, ir *InjectedRequest) int
+	pickHealthy(shards []*channelShard, ir *InjectedRequest) (int, bool)
+}
+
+// failover returns the first healthy shard at or after k in ascending
+// wrap-around order — the failover rule shared by the index-order
+// policies. The caller guarantees at least one healthy shard.
+func failover(shards []*channelShard, k int) int {
+	for i := 0; i < len(shards); i++ {
+		if j := (k + i) % len(shards); healthyShard(shards[j]) {
+			return j
+		}
+	}
+	return k
 }
 
 // newRoutePolicy builds the policy for a validated router name.
@@ -79,6 +109,14 @@ func (p *roundRobinPolicy) pick(shards []*channelShard, _ *InjectedRequest) int 
 	return k
 }
 
+func (p *roundRobinPolicy) pickHealthy(shards []*channelShard, ir *InjectedRequest) (int, bool) {
+	k := p.pick(shards, ir)
+	if healthyShard(shards[k]) {
+		return k, false
+	}
+	return failover(shards, k), true
+}
+
 type jsqPolicy struct{}
 
 func (jsqPolicy) pick(shards []*channelShard, _ *InjectedRequest) int {
@@ -89,6 +127,19 @@ func (jsqPolicy) pick(shards []*channelShard, _ *InjectedRequest) int {
 		}
 	}
 	return best
+}
+
+func (p jsqPolicy) pickHealthy(shards []*channelShard, ir *InjectedRequest) (int, bool) {
+	best := -1
+	for k := 0; k < len(shards); k++ {
+		if !healthyShard(shards[k]) {
+			continue
+		}
+		if best < 0 || shards[k].live < shards[best].live {
+			best = k
+		}
+	}
+	return best, !healthyShard(shards[p.pick(shards, ir)])
 }
 
 type bufferAwarePolicy struct{}
@@ -108,8 +159,36 @@ func (bufferAwarePolicy) pick(shards []*channelShard, _ *InjectedRequest) int {
 	return best
 }
 
+func (p bufferAwarePolicy) pickHealthy(shards []*channelShard, ir *InjectedRequest) (int, bool) {
+	best, bestWords := -1, 0
+	for k := 0; k < len(shards); k++ {
+		if !healthyShard(shards[k]) {
+			continue
+		}
+		w := shards[k].bufferWords()
+		if best < 0 || w > bestWords || (w == bestWords && shards[k].live < shards[best].live) {
+			best, bestWords = k, w
+		}
+	}
+	return best, !healthyShard(shards[p.pick(shards, ir)])
+}
+
 type stickyPolicy struct{}
 
 func (stickyPolicy) pick(shards []*channelShard, ir *InjectedRequest) int {
 	return ir.Client % len(shards)
+}
+
+// pickHealthy defines sticky's failover order: a client whose home
+// shard (client mod shards) is tripped is served by the first healthy
+// shard in ascending wrap-around order from the home index — shard
+// (home+1) mod N, then (home+2) mod N, and so on. The request returns
+// home the moment the home shard re-qualifies (stickiness is a pure
+// function of client and fleet health, with no failover memory).
+func (p stickyPolicy) pickHealthy(shards []*channelShard, ir *InjectedRequest) (int, bool) {
+	home := p.pick(shards, ir)
+	if healthyShard(shards[home]) {
+		return home, false
+	}
+	return failover(shards, home+1), true
 }

@@ -57,6 +57,15 @@ type RunConfig struct {
 	// round-robin, jsq, buffer-aware, sticky); "" selects round-robin.
 	// Irrelevant when Shards == 1.
 	Router string
+	// Health configures online entropy health monitoring (health.go):
+	// continuous SP 800-90B-style tests per shard with trip/quarantine/
+	// re-qualification semantics. The zero value (Enabled false) runs
+	// without monitoring — the historical behavior, byte for byte.
+	Health trng.HealthConfig
+	// Fault schedules a deterministic entropy degradation on every
+	// shard's synthesized word stream (trng.FaultProfile); the zero
+	// value injects nothing. Meaningful only with Health.Enabled.
+	Fault trng.FaultProfile
 	// Tweak optionally adjusts the controller configuration after the
 	// design's defaults are applied (ablation studies). TweakID must
 	// uniquely name the adjustment: it keys the run memoization.

@@ -29,6 +29,9 @@ type probeResult struct {
 type securityHarness struct {
 	ctrl *memctrl.Controller
 	now  int64
+	// onTick optionally runs a per-tick policy before the controller
+	// advances (the health-adversary harness's recovery check).
+	onTick func(now int64)
 }
 
 func newSecurityHarness(partitioned bool) *securityHarness {
@@ -49,6 +52,9 @@ func newSecurityHarness(partitioned bool) *securityHarness {
 
 func (h *securityHarness) tick(n int64) {
 	for i := int64(0); i < n; i++ {
+		if h.onTick != nil {
+			h.onTick(h.now)
+		}
 		h.ctrl.Tick(h.now)
 		h.now++
 	}
@@ -126,11 +132,7 @@ func SecurityAnalysis(instr int64) []Figure {
 		active := h.probePhase(trials, true)
 		adv := math.Abs(active.missRate - idle.missRate)
 		// Binary symmetric channel capacity with error (1-adv)/2.
-		errP := (1 - adv) / 2
-		capacity := 1.0
-		if errP > 0 && errP < 1 {
-			capacity = 1 + errP*math.Log2(errP) + (1-errP)*math.Log2(1-errP)
-		}
+		capacity := bscCapacity(adv)
 		name := "shared buffer"
 		if part {
 			name = "partitioned buffer"

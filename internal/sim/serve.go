@@ -70,6 +70,17 @@ type ServeConfig struct {
 	// Router names the request routing policy across shards
 	// (RouterNames); "" selects DRSTRANGE_ROUTER, then round-robin.
 	Router string
+	// Health switches online entropy health monitoring: "on" or "off";
+	// "" selects DRSTRANGE_HEALTH, then "off" — except that naming a
+	// Fault implies "on" (injecting degradation without the monitor
+	// that reacts to it is never what a scenario means). The clean
+	// path with monitoring on is byte-identical to monitoring off:
+	// zero false trips is a pinned property.
+	Health string
+	// Fault names a deterministic degradation profile injected into
+	// every shard's entropy stream (trng.FaultNames: bias-ramp,
+	// stuck-bits, burst); "" selects DRSTRANGE_FAULT, then none.
+	Fault string
 }
 
 // Normalized returns the configuration with its defaults filled in:
@@ -102,6 +113,23 @@ func (c ServeConfig) Normalized() ServeConfig {
 	}
 	if c.Router == "" {
 		c.Router = DefaultRouter()
+	}
+	if c.Fault == "" {
+		c.Fault = DefaultFault()
+	}
+	if c.Health == "" {
+		if c.Fault != "" {
+			c.Health = "on"
+		} else {
+			c.Health = DefaultHealth()
+		}
+	}
+	if c.Health != "on" {
+		// Normalize every negative spelling to "off", and drop a fault
+		// explicitly overridden to run unmonitored (the injection is
+		// only observable through the monitor).
+		c.Health = "off"
+		c.Fault = ""
 	}
 	return c
 }
@@ -153,6 +181,14 @@ type ServePoint struct {
 	Shards   int
 	Router   string
 	PerShard []ShardStat
+
+	// Health aggregates the point's availability story (trip count,
+	// downtime, failed/rerouted requests, availability and its nines)
+	// when health monitoring was on; nil otherwise, so health-off
+	// points compare and serialize exactly as before. Failed requests
+	// count toward Submitted but never toward Completed or the latency
+	// percentiles — an entropy failure is an error, not a slow serve.
+	Health *ServeHealth
 }
 
 // ServeLoad sweeps the offered loads (aggregate Mb/s of requested
@@ -244,7 +280,7 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		panic(fmt.Sprintf("sim: %v", err)) // unreachable: ServeLoadCtx vetted the name
 	}
 
-	sys := NewSystem(RunConfig{
+	rcfg := RunConfig{
 		Design:       cfg.Design,
 		Mix:          cfg.Background,
 		Mech:         cfg.Mech,
@@ -254,9 +290,18 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		Clients:      cfg.Clients,
 		Shards:       cfg.Shards,
 		Router:       cfg.Router,
-	})
+	}
+	healthOn := cfg.Health == "on"
+	if healthOn {
+		rcfg.Health = trng.DefaultHealthConfig()
+		rcfg.Fault = trng.DefaultFaultProfile(cfg.Fault)
+	}
+	sys := NewSystem(rcfg)
 
 	end := cfg.WarmupTicks + cfg.WindowTicks
+	if healthOn {
+		sys.SetAvailabilityWindow(cfg.WarmupTicks, end)
+	}
 	p := ServePoint{OfferedMbps: mbps}
 	var (
 		hist              metrics.Histogram
@@ -266,6 +311,12 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		completedInWindow int64
 	)
 	sys.OnInjectionComplete(func(r *InjectedRequest) {
+		if r.Failed {
+			// Deadline-failed at a tripped shard: counted by the
+			// availability stats (ServeHealth.FailedRequests), never by
+			// the serving metrics.
+			return
+		}
 		if r.FinishTick >= cfg.WarmupTicks && r.FinishTick < end {
 			completedInWindow++
 		}
@@ -341,6 +392,10 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		p.Router = cfg.Router
 		p.PerShard = sys.ShardStats()
 	}
+	if healthOn {
+		h := sys.HealthStats(cfg.WindowTicks)
+		p.Health = &h
+	}
 	return p
 }
 
@@ -398,39 +453,67 @@ func ServeCurveCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) 
 		return Figure{}, nil, err
 	}
 	// Single-shard figures keep their historical ID and title bytes;
-	// sharded sweeps announce the topology in both.
+	// sharded sweeps announce the topology in both. The availability
+	// columns appear only when a fault is configured — gated on the
+	// configuration, never on the measured data, so a clean run with
+	// health monitoring on renders byte-identically to monitoring off
+	// (zero false trips is a pinned property, not a formatting
+	// accident).
 	id := fmt.Sprintf("ServeLoad-%s", cfg.Design)
 	topo := ""
 	if cfg.Shards > 1 {
 		id = fmt.Sprintf("ServeLoad-%s-x%d", cfg.Design, cfg.Shards)
 		topo = fmt.Sprintf("%d shards via %s, ", cfg.Shards, cfg.Router)
 	}
+	degraded := cfg.Fault != ""
+	fault := ""
+	if degraded {
+		fault = fmt.Sprintf(", fault=%s", cfg.Fault)
+	}
+	labels := []string{"offered", "achieved", "p50ns", "p95ns", "p99ns", "p999ns", "bufhit", "served"}
+	if degraded {
+		labels = append(labels, "nines", "trips", "downtime", "failed", "rerouted")
+	}
 	f := Figure{
 		ID: id,
-		Title: fmt.Sprintf("%s serving %s %dB requests (%s, %d clients, %sbg=%s)",
-			cfg.Design, cfg.Mech.Name, cfg.RequestBytes, cfg.Arrival, cfg.Clients, topo, bgName(cfg.Background)),
+		Title: fmt.Sprintf("%s serving %s %dB requests (%s, %d clients, %sbg=%s%s)",
+			cfg.Design, cfg.Mech.Name, cfg.RequestBytes, cfg.Arrival, cfg.Clients, topo, bgName(cfg.Background), fault),
 		// "served" is Completed/Submitted: below 1.0 the drain
 		// horizon censored the slowest requests, so the latency
 		// percentiles on that row are optimistic.
-		Labels: []string{"offered", "achieved", "p50ns", "p95ns", "p99ns", "p999ns", "bufhit", "served"},
+		Labels: labels,
 	}
 	for _, pt := range points {
 		servedFrac := 0.0
 		if pt.Submitted > 0 {
 			servedFrac = float64(pt.Completed) / float64(pt.Submitted)
 		}
+		values := []float64{
+			pt.OfferedMbps,
+			pt.AchievedMbps,
+			pt.P50 * TickNanos,
+			pt.P95 * TickNanos,
+			pt.P99 * TickNanos,
+			pt.P999 * TickNanos,
+			pt.BufferHitRate,
+			servedFrac,
+		}
+		if degraded {
+			h := pt.Health
+			if h == nil {
+				h = &ServeHealth{}
+			}
+			values = append(values,
+				h.Nines,
+				float64(h.Trips),
+				float64(h.DowntimeTicks),
+				float64(h.FailedRequests),
+				float64(h.ReroutedRequests),
+			)
+		}
 		f.Series = append(f.Series, Series{
-			Name: fmt.Sprintf("%gMb/s", pt.OfferedMbps),
-			Values: []float64{
-				pt.OfferedMbps,
-				pt.AchievedMbps,
-				pt.P50 * TickNanos,
-				pt.P95 * TickNanos,
-				pt.P99 * TickNanos,
-				pt.P999 * TickNanos,
-				pt.BufferHitRate,
-				servedFrac,
-			},
+			Name:   fmt.Sprintf("%gMb/s", pt.OfferedMbps),
+			Values: values,
 		})
 	}
 	return f, points, nil

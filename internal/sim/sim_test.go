@@ -346,7 +346,7 @@ func TestPredictorTableSweepRuns(t *testing.T) {
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"fig17", "fig18", "sec6", "sec8.8", "sec8.9", "table1"}
+		"fig17", "fig18", "sec6", "sec6-adv", "sec8.8", "sec8.9", "table1"}
 	for _, id := range want {
 		if Experiments[id] == nil {
 			t.Fatalf("experiment %q missing from registry", id)

@@ -79,6 +79,14 @@ type System struct {
 	// lookup.
 	heap  boundHeap
 	dirty []int32
+
+	// Health-monitoring state (health.go). tripsLive counts currently
+	// quarantined shards — the router consults it before paying for a
+	// health-aware pick. availFrom/availUntil clip downtime accounting
+	// to the measurement window (SetAvailabilityWindow).
+	tripsLive  int
+	availFrom  int64
+	availUntil int64
 }
 
 // channelShard is one independent DRAM channel of the System: its own
@@ -123,6 +131,10 @@ type channelShard struct {
 	peakLive  int   // high-water mark of live
 	doneWords int64 // words completed here
 	bufWords  int64 // of those, served from the RNG buffer
+
+	// health is the shard's entropy health monitor (health.go); nil
+	// when monitoring is off, so the clean path pays nothing.
+	health *shardHealth
 }
 
 // bufferWords reports how many complete words the shard's RNG buffer
@@ -158,6 +170,10 @@ type InjectedRequest struct {
 	// rather than by on-demand generation.
 	BufferWords int
 	Done        bool
+	// Failed marks a request the degraded-mode deadline failed at a
+	// health-tripped shard instead of serving (FinishTick is the fail
+	// tick; the request completed no words).
+	Failed bool
 
 	wordsSubmitted int
 	wordsDone      int
@@ -211,18 +227,24 @@ func NewSystem(cfg RunConfig) *System {
 		queue:      EventQueue(),
 		clientBase: nCores,
 	}
+	s.availUntil = farFuture
 	ccfg := cpu.DefaultConfig()
 	for k := 0; k < cfg.Shards; k++ {
+		sh := &channelShard{idx: k}
 		mcfg := buildConfig(cfg.Design, nCores+cfg.Clients, cfg.Mech, cfg.BufferWords, prio)
 		mcfg.OnIdlePeriod = cfg.OnIdlePeriod
 		if cfg.Tweak != nil {
 			cfg.Tweak(&mcfg)
 		}
+		if cfg.Health.Enabled {
+			sh.health = newShardHealth(k, cfg)
+			mcfg.OnRNGRound = func(_ int, now int64) { s.observeRound(sh, now) }
+		}
 		ctrl, err := memctrl.NewController(mcfg)
 		if err != nil {
 			panic(fmt.Sprintf("sim: bad controller config: %v", err))
 		}
-		sh := &channelShard{idx: k, mcfg: mcfg, ctrl: ctrl}
+		sh.mcfg, sh.ctrl = mcfg, ctrl
 		geom := mcfg.Geom
 		seed := cfg.Seed + uint64(k)*shardSeedStride
 		for i, app := range cfg.Mix.Apps {
@@ -377,6 +399,12 @@ func (sh *channelShard) componentBound(now int64) int64 {
 	if t := sh.ctrl.NextEventTick(now); t < next {
 		next = t
 	}
+	// A quarantined shard must execute its re-qualification tick: the
+	// recovery transition (healthTick) happens only at executed ticks,
+	// so the bound never overshoots it.
+	if sh.health != nil && sh.health.tripped && sh.health.suspectUntil < next {
+		next = sh.health.suspectUntil
+	}
 	return next
 }
 
@@ -425,6 +453,9 @@ func (s *System) execDue(t int64) bool {
 			continue
 		}
 		s.catchUp(sh, t)
+		if sh.health != nil {
+			s.healthTick(sh, t)
+		}
 		if sh.waitHead < len(sh.waiting) {
 			s.admitShard(sh, t)
 		}
@@ -551,6 +582,9 @@ func (s *System) execTick(t int64) bool {
 	}
 	finished := 0
 	for _, sh := range s.shards {
+		if sh.health != nil {
+			s.healthTick(sh, t)
+		}
 		if sh.waitHead < len(sh.waiting) {
 			s.admitShard(sh, t)
 		}
@@ -583,11 +617,24 @@ func (s *System) routeArrivals(t int64) {
 		s.sched[s.schedHead] = nil
 		s.schedHead++
 		k := 0
+		rerouted := false
 		if len(s.shards) > 1 {
-			k = s.policy.pick(s.shards, ir)
+			// Health-aware dispatch only while the fleet is partially
+			// degraded: with no trips the plain pick keeps the clean
+			// path byte-identical, and with every shard tripped there
+			// is nowhere better to steer (the natural shard queues or
+			// deadline-fails the request).
+			if s.tripsLive > 0 && s.tripsLive < len(s.shards) {
+				k, rerouted = s.policy.pickHealthy(s.shards, ir)
+			} else {
+				k = s.policy.pick(s.shards, ir)
+			}
 		}
 		ir.Shard = k
 		sh := s.shards[k]
+		if rerouted {
+			sh.health.rerouted++
+		}
 		sh.routed++
 		sh.live++
 		if sh.live > sh.peakLive {
@@ -769,6 +816,19 @@ type ShardStat struct {
 	// controller's RNG queue occupancy.
 	BufferWords int
 	RNGQueueLen int
+
+	// Health-monitoring counters (health.go), all zero when monitoring
+	// is off. Trips counts quarantines; FirstTripTick is the first
+	// trip's tick (-1 with monitoring on but no trips). DowntimeTicks
+	// is quarantined ticks clipped to the availability window,
+	// including a still-open quarantine at snapshot time.
+	// FailedRequests counts deadline failures; ReroutedRequests counts
+	// arrivals dispatched here because their natural shard was tripped.
+	Trips            int64
+	FirstTripTick    int64
+	DowntimeTicks    int64
+	FailedRequests   int64
+	ReroutedRequests int64
 }
 
 // ShardStats snapshots every shard's routing/occupancy counters, in
@@ -787,6 +847,16 @@ func (s *System) ShardStats() []ShardStat {
 		}
 		if sh.doneWords > 0 {
 			st.BufferHitRate = float64(sh.bufWords) / float64(sh.doneWords)
+		}
+		if h := sh.health; h != nil {
+			st.Trips = h.trips
+			st.FirstTripTick = h.firstTrip
+			st.DowntimeTicks = h.downtime
+			if h.tripped {
+				st.DowntimeTicks += overlapTicks(h.tripTick, s.now, s.availFrom, s.availUntil)
+			}
+			st.FailedRequests = h.failed
+			st.ReroutedRequests = h.rerouted
 		}
 		out[k] = st
 	}

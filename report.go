@@ -75,17 +75,41 @@ type ServePointStats struct {
 	// the point's drain; present only on sharded sweeps (shards > 1), so
 	// single-channel reports keep their historical JSON bytes.
 	PerShard []ShardPointStats `json:"per_shard,omitempty"`
+	// Health is the point's aggregate availability outcome; present only
+	// when the scenario ran with health monitoring on, so unmonitored
+	// reports keep their historical JSON bytes.
+	Health *ServeHealthStats `json:"health,omitempty"`
+}
+
+// ServeHealthStats is the public mirror of the simulator's aggregate
+// health/availability counters for one serve point (sim.ServeHealth):
+// trip count, quarantine downtime, deadline-failed and rerouted
+// requests, and the availability fraction with its "nines".
+type ServeHealthStats struct {
+	Trips            int64   `json:"trips"`
+	DowntimeTicks    int64   `json:"downtime_ticks"`
+	FailedRequests   int64   `json:"failed_requests"`
+	ReroutedRequests int64   `json:"rerouted_requests"`
+	Availability     float64 `json:"availability"`
+	Nines            float64 `json:"nines"`
 }
 
 // ShardPointStats is one channel shard's slice of a sharded serve
 // point: how many requests the router sent it, how many it completed,
-// its occupancy high-water mark, and its buffer hit rate.
+// its occupancy high-water mark, and its buffer hit rate. The health
+// fields are meaningful only when the point carries Health stats;
+// FirstTripTick is -1 for a monitored shard that never tripped.
 type ShardPointStats struct {
-	Shard           int     `json:"shard"`
-	Routed          int64   `json:"routed"`
-	Completed       int64   `json:"completed"`
-	PeakOutstanding int64   `json:"peak_outstanding"`
-	BufferHitRate   float64 `json:"buffer_hit_rate"`
+	Shard            int     `json:"shard"`
+	Routed           int64   `json:"routed"`
+	Completed        int64   `json:"completed"`
+	PeakOutstanding  int64   `json:"peak_outstanding"`
+	BufferHitRate    float64 `json:"buffer_hit_rate"`
+	Trips            int64   `json:"trips,omitempty"`
+	FirstTripTick    int64   `json:"first_trip_tick,omitempty"`
+	DowntimeTicks    int64   `json:"downtime_ticks,omitempty"`
+	FailedRequests   int64   `json:"failed_requests,omitempty"`
+	ReroutedRequests int64   `json:"rerouted_requests,omitempty"`
 }
 
 // ServeDesignStats groups one design's per-point pipeline stats, in the
@@ -199,12 +223,27 @@ func serveStatsFrom(design string, pts []sim.ServePoint) ServeDesignStats {
 		}
 		for _, sh := range pt.PerShard {
 			out.Points[i].PerShard = append(out.Points[i].PerShard, ShardPointStats{
-				Shard:           sh.Shard,
-				Routed:          sh.Routed,
-				Completed:       sh.Completed,
-				PeakOutstanding: int64(sh.PeakLive),
-				BufferHitRate:   sh.BufferHitRate,
+				Shard:            sh.Shard,
+				Routed:           sh.Routed,
+				Completed:        sh.Completed,
+				PeakOutstanding:  int64(sh.PeakLive),
+				BufferHitRate:    sh.BufferHitRate,
+				Trips:            sh.Trips,
+				FirstTripTick:    sh.FirstTripTick,
+				DowntimeTicks:    sh.DowntimeTicks,
+				FailedRequests:   sh.FailedRequests,
+				ReroutedRequests: sh.ReroutedRequests,
 			})
+		}
+		if pt.Health != nil {
+			out.Points[i].Health = &ServeHealthStats{
+				Trips:            pt.Health.Trips,
+				DowntimeTicks:    pt.Health.DowntimeTicks,
+				FailedRequests:   pt.Health.FailedRequests,
+				ReroutedRequests: pt.Health.ReroutedRequests,
+				Availability:     pt.Health.Availability,
+				Nines:            pt.Health.Nines,
+			}
 		}
 		if pt.Shards > 1 && out.Shards == 0 {
 			out.Shards, out.Router = pt.Shards, pt.Router

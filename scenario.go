@@ -127,6 +127,15 @@ type Scenario struct {
 	// Router names the request routing policy across shards (see
 	// RouterNames); "" defers to DRSTRANGE_ROUTER (then round-robin).
 	Router string `json:"router,omitempty"`
+	// Health switches online entropy health monitoring ("on" or
+	// "off"); "" defers to DRSTRANGE_HEALTH (then "off", except that a
+	// configured fault implies "on"). Serve scenarios only.
+	Health string `json:"health,omitempty"`
+	// Fault names a deterministic entropy degradation profile injected
+	// into every shard's stream (see FaultNames); "" defers to
+	// DRSTRANGE_FAULT (then none). Serve scenarios only. Setting a
+	// fault with health explicitly "off" is a validation error.
+	Fault string `json:"fault,omitempty"`
 }
 
 // Option mutates a Scenario under construction (NewScenario).
@@ -208,6 +217,14 @@ func WithShards(n int) Option { return func(s *Scenario) { s.Shards = n } }
 // WithRouter selects the serve scenario's request routing policy.
 func WithRouter(name string) Option { return func(s *Scenario) { s.Router = name } }
 
+// WithHealth switches the serve scenario's online entropy health
+// monitoring ("on" or "off").
+func WithHealth(mode string) Option { return func(s *Scenario) { s.Health = mode } }
+
+// WithFault selects the serve scenario's injected entropy degradation
+// profile (see FaultNames). A fault implies health monitoring.
+func WithFault(name string) Option { return func(s *Scenario) { s.Fault = name } }
+
 // ExperimentIDs lists the accepted figure-scenario experiment ids in
 // stable order (the paper's figure/table identifiers).
 func ExperimentIDs() []string { return sim.ExperimentIDs() }
@@ -218,6 +235,10 @@ func DesignNames() []string { return sim.DesignNames() }
 // RouterNames lists the accepted serve-scenario router policy names,
 // sorted.
 func RouterNames() []string { return sim.RouterNames() }
+
+// FaultNames lists the accepted serve-scenario fault profile names,
+// sorted.
+func FaultNames() []string { return trng.FaultNames() }
 
 // Normalized returns the scenario with the kind-specific semantic
 // defaults filled in, mirroring the simulator's own defaulting
@@ -315,6 +336,8 @@ func (s Scenario) serveOnlyFields() []fieldPresence {
 		{"window_ticks", s.WindowTicks != 0},
 		{"shards", s.Shards != 0},
 		{"router", s.Router != ""},
+		{"health", s.Health != ""},
+		{"fault", s.Fault != ""},
 	}
 }
 
@@ -458,6 +481,17 @@ func (s Scenario) Validate() error {
 		if n.Router != "" && !sim.ValidRouter(n.Router) {
 			return unknownName("router", n.Router, sim.RouterNames())
 		}
+		switch n.Health {
+		case "", "on", "off":
+		default:
+			return fmt.Errorf("unknown health mode %q (want \"on\" or \"off\")", n.Health)
+		}
+		if n.Fault != "" && !trng.ValidFault(n.Fault) {
+			return unknownName("fault", n.Fault, trng.FaultNames())
+		}
+		if n.Fault != "" && n.Health == "off" {
+			return fmt.Errorf("fault %q needs health monitoring; drop health or set it to \"on\"", n.Fault)
+		}
 	}
 	return nil
 }
@@ -544,6 +578,8 @@ func (s Scenario) serveConfig() (sim.ServeConfig, []sim.Design) {
 		Seed:         n.Seed,
 		Shards:       n.Shards, // 0 defers to DRSTRANGE_SHARDS via ServeConfig.Normalized
 		Router:       n.Router, // "" defers to DRSTRANGE_ROUTER likewise
+		Health:       n.Health, // "" defers to DRSTRANGE_HEALTH likewise
+		Fault:        n.Fault,  // "" defers to DRSTRANGE_FAULT likewise
 	}, designs
 }
 

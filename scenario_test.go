@@ -17,6 +17,7 @@ import (
 // of a silent format drift.
 func goldenScenarios() map[string]Scenario {
 	warmupZero := int64(0)
+	warmupTenK := int64(10000)
 	return map[string]Scenario{
 		"scenario_figure.json": {
 			Version:      SchemaVersion,
@@ -60,6 +61,21 @@ func goldenScenarios() map[string]Scenario {
 			WindowTicks: 20000,
 			Shards:      4,
 			Router:      "jsq",
+		},
+		"scenario_serve_degraded.json": {
+			Version:     SchemaVersion,
+			Kind:        KindServe,
+			Name:        "degraded-entropy",
+			Seed:        3,
+			Designs:     []string{"drstrange"},
+			Loads:       []float64{1280, 2560},
+			Arrival:     "poisson",
+			WarmupTicks: &warmupTenK,
+			WindowTicks: 50000,
+			Shards:      4,
+			Router:      "jsq",
+			Health:      "on",
+			Fault:       "bias-ramp",
 		},
 	}
 }
@@ -152,6 +168,11 @@ func TestScenarioValidateRejections(t *testing.T) {
 		{"shards on run", NewScenario(KindRun, WithApps("soplex"), WithShards(4)), "shards is only meaningful on a serve scenario"},
 		{"router on run", NewScenario(KindRun, WithApps("soplex"), WithRouter("jsq")), "router is only meaningful on a serve scenario"},
 		{"shards on figure", NewScenario(KindFigure, WithFigure("fig6"), WithShards(4)), "shards is not meaningful on a figure scenario"},
+		{"bad health", NewScenario(KindServe, WithHealth("maybe")), `unknown health mode "maybe"`},
+		{"bad fault", NewScenario(KindServe, WithFault("meteor")), `unknown fault "meteor" (valid: ` + strings.Join(FaultNames(), ", ")},
+		{"fault with health off", NewScenario(KindServe, WithHealth("off"), WithFault("burst")), "needs health monitoring"},
+		{"health on run", NewScenario(KindRun, WithApps("soplex"), WithHealth("on")), "health is only meaningful on a serve scenario"},
+		{"fault on figure", NewScenario(KindFigure, WithFigure("fig6"), WithFault("burst")), "fault is not meaningful on a figure scenario"},
 	}
 	for _, tc := range cases {
 		err := tc.sc.Validate()
@@ -180,6 +201,9 @@ func TestScenarioValidateAccepts(t *testing.T) {
 		{Kind: KindServe, Designs: []string{"greedy"}, Loads: []float64{640}, WarmupTicks: &warmup},
 		NewScenario(KindServe, WithShards(16), WithRouter("buffer-aware")),
 		NewScenario(KindServe, WithShards(1)), // explicit single channel
+		NewScenario(KindServe, WithHealth("on")),
+		NewScenario(KindServe, WithHealth("off")),
+		NewScenario(KindServe, WithShards(4), WithFault("bias-ramp")), // fault implies health on
 	}
 	for i, sc := range cases {
 		if err := sc.Validate(); err != nil {
