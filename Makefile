@@ -16,18 +16,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The determinism matrix: the golden, differential, and sharding
-# conservation tests under every engine x event-queue combination. The
-# two engines (event-driven vs ticked reference) and the two queue
-# implementations (indexed min-heap vs linear scan) must all produce
-# byte-identical results; this is the gate that lets either axis be
-# swapped without a correctness argument from scratch.
+# The determinism matrix: the golden, differential, sharding
+# conservation, and snapshot/restore tests under every engine x
+# event-queue combination. The two engines (event-driven vs ticked
+# reference) and the two queue implementations (indexed min-heap vs
+# linear scan) must all produce byte-identical results — and a restored
+# snapshot must be indistinguishable from replay on every cell; this is
+# the gate that lets either axis be swapped without a correctness
+# argument from scratch.
 ci-matrix:
 	@for e in event ticked; do \
 		for q in heap scan; do \
 			echo "==== engine=$$e eventq=$$q ===="; \
 			DRSTRANGE_ENGINE=$$e DRSTRANGE_EVENTQ=$$q DRSTRANGE_INSTR=8000 \
-				$(GO) test -run 'Golden|Differential|ByteIdentical|Shard|Conservation|EventQueue' ./... || exit 1; \
+				$(GO) test -run 'Golden|Differential|ByteIdentical|Shard|Conservation|EventQueue|Snapshot' ./... || exit 1; \
 		done; \
 	done
 
@@ -72,12 +74,14 @@ bench-compare:
 # The regression gate CI's bench-compare job enforces: diff against the
 # committed baseline, write the machine-readable delta artifact, and
 # fail only when a gated headline — the saturated serve point's memory,
-# a serving sweep's p99 latency, or the degraded sweep's downtime —
-# regresses by more than 25%.
+# a serving sweep's p99 latency, the degraded sweep's downtime, the
+# warm-start sweep's walltime ratio, or the clean-path health-
+# monitoring overhead (the sweep_walltime / health_overhead
+# pseudo-rows) — regresses by more than 25%.
 # Everything else in the diff is informational (micro-benchmark noise
 # on shared runners must not block merges).
 DELTA ?= BENCH_delta.json
-BENCH_GATES = ServeLoadSaturated:B/op,ServeLoadSaturated:allocs/op,ServeLoadSaturated:headline,ServeLoad:headline,ServeLoadSharded:headline,ServeLoadDegraded:headline
+BENCH_GATES = ServeLoadSaturated:B/op,ServeLoadSaturated:allocs/op,ServeLoadSaturated:headline,ServeLoad:headline,ServeLoadSharded:headline,ServeLoadDegraded:headline,sweep_walltime:ratio,health_overhead:ratio
 bench-gate:
 	@test -n "$(NEW)" || { echo "usage: make bench-gate [OLD=old.json] NEW=new.json [DELTA=delta.json]"; exit 2; }
 	$(GO) run ./cmd/benchjson -compare -delta $(DELTA) -maxratio 1.25 -gate $(BENCH_GATES) $(OLD) $(NEW)
@@ -102,6 +106,8 @@ examples-smoke:
 	$(GO) run ./cmd/rngbench -loads 320,1280 -warmup 5000 -window 20000
 	$(GO) run ./cmd/rngbench -loads 1280,5120 -warmup 5000 -window 20000 -shards 1,4 -router jsq
 	$(GO) run ./cmd/rngbench -loads 1280 -warmup 5000 -window 20000 -shards 4 -router jsq -fault bias-ramp
+	$(GO) run ./cmd/rngbench -loads 320,1280 -warmup 5000 -window 20000 -warm on
+	$(GO) run ./cmd/rngbench -loads 1280 -warmup 5000 -window 20000 -checkpoint 4000
 
 # The canned scenarios/ files for all three kinds run through both
 # CLIs (any CLI runs any kind via -scenario), and the figure scenario's

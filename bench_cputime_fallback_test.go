@@ -1,0 +1,12 @@
+//go:build !unix
+
+package drstrange_test
+
+import "time"
+
+// cpuNow falls back to walltime where getrusage is unavailable; the
+// paired-ratio benchmarks then carry whatever scheduler noise the host
+// has, exactly as they would without CPU-time accounting.
+func cpuNow() time.Duration {
+	return time.Since(time.Time{})
+}

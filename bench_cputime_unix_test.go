@@ -1,0 +1,24 @@
+//go:build unix
+
+package drstrange_test
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuNow returns the process's consumed user-mode CPU time. Walltime
+// on a shared box counts scheduler preemption and hypervisor steal
+// against whichever sweep happened to be running, and system time
+// books kernel page-fault and memory-reclaim work against whichever
+// sweep happened to be allocating; user time only advances while the
+// process computes, which is the cost paired-ratio benchmarks are
+// after.
+func cpuNow() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return time.Duration(0)
+	}
+	return time.Duration(ru.Utime.Sec)*time.Second +
+		time.Duration(ru.Utime.Usec)*time.Microsecond
+}

@@ -27,6 +27,13 @@
 // entropy degradation (bias-ramp, stuck-bits, burst) to exercise it; a
 // -fault implies -health on.
 //
+// -warm on forks every offered-load point from one warmed, snapshotted
+// system image (checkpointed warm starts: the warmup is paid once per
+// configuration instead of once per point), and -checkpoint N
+// snapshots and restores the running point every N ticks — periodic
+// checkpoint/resume whose output is byte-identical to an uninterrupted
+// run.
+//
 // Usage examples:
 //
 //	rngbench
@@ -37,6 +44,8 @@
 //	rngbench -loads 5120 -window 1000000 -cpuprofile cpu.pb -memprofile mem.pb
 //	rngbench -designs drstrange -loads 2560,5120 -shards 1,4,16 -router jsq
 //	rngbench -designs drstrange -loads 1280 -shards 4 -router jsq -fault bias-ramp
+//	rngbench -warm on -loads 320,640,1280,2560
+//	rngbench -loads 2560 -window 1000000 -checkpoint 100000
 package main
 
 import (
@@ -76,6 +85,10 @@ func main() {
 		"online entropy health monitoring: on|off (default DRSTRANGE_HEALTH or off; a -fault implies on)")
 	fault := flag.String("fault", "",
 		"injected entropy fault profile: "+strings.Join(drstrange.FaultNames(), "|")+" (default DRSTRANGE_FAULT or none)")
+	warm := flag.String("warm", "",
+		"checkpointed warm starts: on|off — fork every load point from one warmed system image instead of re-running the warmup (default DRSTRANGE_WARM or off)")
+	checkpoint := flag.Int64("checkpoint", 0,
+		"snapshot/restore the running point every N ticks (periodic checkpoint/resume; output is byte-identical, 0 = off)")
 	common := cliflag.Register("rngbench")
 	flag.Parse()
 
@@ -126,6 +139,12 @@ func main() {
 	}
 	if set["fault"] {
 		sc.Fault = *fault
+	}
+	if set["warm"] {
+		sc.Warm = *warm
+	}
+	if set["checkpoint"] {
+		sc.Checkpoint = *checkpoint
 	}
 	if len(shardCounts) == 1 {
 		sc.Shards = shardCounts[0]

@@ -132,9 +132,37 @@
 // (with its nines) in aggregate and per shard; availability counts
 // shard-ticks up within the measurement window only.
 //
+// # Checkpointed warm starts
+//
+// sim.System.Snapshot freezes a running system's complete steppable
+// state — cores, controller queues and RNG buffer, DRAM timing, TRNG
+// and PRNG stream positions, health-monitor and quarantine state, and
+// the injection-port bookkeeping — as an immutable sim.SystemImage,
+// and sim.RestoreSystem forks an independent system from it. Restore
+// is indistinguishable from replay: stepping the fork is
+// byte-identical to stepping the original uninterrupted, on both
+// engines and both event queues, pinned by the TestSnapshot*
+// differentials (including a snapshot taken inside an open
+// quarantine). One image forks any number of instances; images are
+// memoized by configuration process-wide.
+//
+// The serve layer builds two features on it. A scenario's Warm field
+// ("on", or DRSTRANGE_WARM) forks every offered-load point from one
+// warmed background-only image instead of re-running the warmup per
+// point — a sweep's warmup cost is paid once per configuration, which
+// the sweep_walltime benchmark headline tracks. Warm mode is opt-in:
+// a warm point skips warmup-period arrivals (its pre-window state is
+// the background-only image), while the measured window's arrival
+// schedule is unchanged; the cold path keeps the committed goldens'
+// bytes. The Checkpoint field (> 0) makes the running point snapshot
+// and restore itself every Checkpoint ticks — periodic
+// checkpoint/resume whose output is byte-identical to an
+// uninterrupted run, so every checkpointed run self-tests the
+// snapshot path.
+//
 // # Environment knobs
 //
-// Eight environment variables tune every driver and benchmark (their
+// Nine environment variables tune every driver and benchmark (their
 // accepted values are documented and validated in internal/sim/env.go;
 // invalid settings warn once on stderr and fall back, and an unknown
 // DRSTRANGE_-prefixed variable — a typo — is called out once too):
@@ -159,6 +187,9 @@
 //   - DRSTRANGE_FAULT defaults the serve-scenario fault profile
 //     (default none; setting one requires health monitoring on).
 //     Warned and ignored on non-serve kinds.
+//   - DRSTRANGE_WARM defaults serve-scenario checkpointed warm
+//     starts: "on" or "off" (default). Warned and ignored on
+//     non-serve kinds.
 //
 // Scenario fields take precedence over the environment when set; unset
 // fields defer to it, so serialized scenarios stay portable across

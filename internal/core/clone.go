@@ -1,0 +1,52 @@
+package core
+
+// Snapshot support: every stateful component the memory controller
+// holds through its Buffer/IdlePredictor interfaces implements
+// CloneState() any, returning an independent deep copy that evolves
+// byte-identically under the same call sequence. The method returns
+// `any` (rather than the concrete type or a memctrl interface) so the
+// controller can clone whatever it was configured with via a single
+// optional-interface assertion, without core importing memctrl.
+
+// CloneState returns an independent deep copy of the buffer.
+func (b *RandBuffer) CloneState() any {
+	cp := *b
+	return &cp
+}
+
+// CloneState returns an independent deep copy of the partitioned
+// buffer: every partition is cloned, and the fill cursor carries over.
+func (p *PartitionedBuffer) CloneState() any {
+	cp := &PartitionedBuffer{next: p.next, parts: make([]*RandBuffer, len(p.parts))}
+	for i, part := range p.parts {
+		c := *part
+		cp.parts[i] = &c
+	}
+	return cp
+}
+
+// CloneState returns an independent deep copy of the predictor,
+// including every per-channel counter table.
+func (p *SimplePredictor) CloneState() any {
+	cp := *p
+	cp.tables = make([][]uint8, len(p.tables))
+	for i, row := range p.tables {
+		r := make([]uint8, len(row))
+		copy(r, row)
+		cp.tables[i] = r
+	}
+	return &cp
+}
+
+// CloneState returns an independent deep copy of the RL agent: the
+// Q-table and every per-channel context slice.
+func (p *QPredictor) CloneState() any {
+	cp := *p
+	cp.q = make([][2]float64, len(p.q))
+	copy(cp.q, p.q)
+	cp.hist = append([]uint16(nil), p.hist...)
+	cp.lastState = append([]int(nil), p.lastState...)
+	cp.lastAction = append([]int(nil), p.lastAction...)
+	cp.havePred = append([]bool(nil), p.havePred...)
+	return &cp
+}

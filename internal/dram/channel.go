@@ -42,6 +42,17 @@ func NewChannel(banks int, t Timing) *Channel {
 	}
 }
 
+// Clone returns an independent deep copy of the channel: all timing
+// state, the per-bank state machines, and the statistics counters. The
+// copy evolves byte-identically to the original under the same command
+// sequence (snapshot/restore support).
+func (c *Channel) Clone() *Channel {
+	cp := *c
+	cp.Banks = make([]Bank, len(c.Banks))
+	copy(cp.Banks, c.Banks)
+	return &cp
+}
+
 // CmdBusFree reports whether the command bus can carry a command at now.
 func (c *Channel) CmdBusFree(now int64) bool {
 	return now >= c.nextCmd && now >= c.RefreshUntil

@@ -33,6 +33,17 @@ func MustDevice(g Geometry, t Timing) *Device {
 	return d
 }
 
+// Clone returns an independent deep copy of the device: every channel
+// state machine is cloned, so the copy can be stepped without touching
+// the original (snapshot/restore support).
+func (d *Device) Clone() *Device {
+	cp := &Device{Geom: d.Geom, Timing: d.Timing, Channels: make([]*Channel, len(d.Channels))}
+	for i, c := range d.Channels {
+		cp.Channels[i] = c.Clone()
+	}
+	return cp
+}
+
 // Channel returns channel i.
 func (d *Device) Channel(i int) *Channel { return d.Channels[i] }
 

@@ -28,6 +28,13 @@ func NewSplitMix64(seed uint64) *SplitMix64 {
 	return &SplitMix64{state: seed}
 }
 
+// Clone returns an independent generator at the same stream position:
+// both copies emit the identical future sequence.
+func (s *SplitMix64) Clone() *SplitMix64 {
+	cp := *s
+	return &cp
+}
+
 // Next returns the next value in the sequence.
 func (s *SplitMix64) Next() uint64 {
 	s.state += 0x9E3779B97F4A7C15
@@ -56,6 +63,13 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	// An all-zero state would be a fixed point; SplitMix64 cannot emit
 	// four consecutive zeros, so no further guard is needed.
 	return &x
+}
+
+// Clone returns an independent generator at the same stream position:
+// both copies emit the identical future sequence.
+func (x *Xoshiro256) Clone() *Xoshiro256 {
+	cp := *x
+	return &cp
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

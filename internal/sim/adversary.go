@@ -3,8 +3,6 @@ package sim
 import (
 	"math"
 
-	"drstrange/internal/core"
-	"drstrange/internal/memctrl"
 	"drstrange/internal/trng"
 )
 
@@ -37,6 +35,12 @@ type adversaryHarness struct {
 	trips        int64
 }
 
+// newAdversaryHarness forks the shared warm image (the same one
+// SecurityAnalysis's shared-buffer harness forks) instead of re-running
+// the 2000-tick buffer warm-up: the controller's warm evolution does
+// not depend on who observes its RNG rounds, so the monitor state an
+// inline warm-up would have built is reconstructed exactly by replaying
+// the image's recorded round times through observeRound.
 func newAdversaryHarness(seed uint64) *adversaryHarness {
 	hc := trng.DefaultHealthConfig()
 	h := &adversaryHarness{
@@ -46,16 +50,13 @@ func newAdversaryHarness(seed uint64) *adversaryHarness {
 		requalTicks:  hc.RequalTicks,
 		suspectUntil: farFuture,
 	}
-	cfg := memctrl.DefaultConfig(2)
-	cfg.Policy = memctrl.RNGAware
-	cfg.Fill = memctrl.FillPredictor // nil predictor: fill every idle period
-	cfg.Buffer = core.NewRandBuffer(16)
-	cfg.OnRNGRound = func(_ int, now int64) { h.observeRound(now) }
-	ctrl, err := memctrl.NewController(cfg)
-	if err != nil {
-		panic(err)
+	img := warmSecImage(false)
+	h.securityHarness = img.fork()
+	h.onTick = h.healthTick
+	h.ctrl.RebindHooks(nil, func(_ int, now int64) { h.observeRound(now) })
+	for _, t := range img.rounds {
+		h.observeRound(t)
 	}
-	h.securityHarness = &securityHarness{ctrl: ctrl, onTick: h.healthTick}
 	return h
 }
 
@@ -142,8 +143,7 @@ func HealthAdversary(instr int64) []Figure {
 		Title:  "Buffer timing side channel across an entropy-fault quarantine cycle",
 		Labels: []string{"miss idle", "miss active", "advantage", "bits/window"},
 	}
-	h := newAdversaryHarness(0x5EC6ADF0)
-	h.tick(2000) // warm the buffer
+	h := newAdversaryHarness(0x5EC6ADF0) // forks the shared warm image
 
 	phase := func(name string) {
 		idle := h.probePhase(trials, false)

@@ -33,6 +33,12 @@ package sim
 //	                   trng.FaultNames: bias-ramp, stuck-bits, burst;
 //	                   default none). Serve-only; implies health
 //	                   monitoring unless health is explicitly "off".
+//	DRSTRANGE_WARM     "on" or "off" (default) — checkpointed warm
+//	                   starts of serve scenarios: one warmed system
+//	                   image per configuration is snapshotted and
+//	                   forked across offered-load points instead of
+//	                   re-running every warmup. Serve-only, like
+//	                   DRSTRANGE_SHARDS.
 //
 // A knob set to anything outside its accepted values is ignored with a
 // single warning on stderr (it used to fall back silently, which made
@@ -193,6 +199,22 @@ func DefaultFault() string {
 	return v
 }
 
+// DefaultWarm resolves the serve layer's checkpointed-warm-start
+// switch: DRSTRANGE_WARM, or "off". Anything but "on"/"off" warns once
+// and falls back.
+func DefaultWarm() string {
+	switch v := os.Getenv("DRSTRANGE_WARM"); v {
+	case "", "off":
+		return "off"
+	case "on":
+		return "on"
+	default:
+		envWarnOnce("DRSTRANGE_WARM",
+			fmt.Sprintf("ignoring DRSTRANGE_WARM=%q: want \"on\" or \"off\"", v))
+		return "off"
+	}
+}
+
 // WarnIgnoredServeKnobs warns once per knob when the serve-only
 // knobs are set in the environment of a non-serve scenario
 // kind: a figure or closed-loop run always models the paper's
@@ -200,7 +222,7 @@ func DefaultFault() string {
 // DRSTRANGE_SHARDS/ROUTER/HEALTH/FAULT would otherwise be silently
 // dead.
 func WarnIgnoredServeKnobs(kind string) {
-	for _, knob := range []string{"DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER", "DRSTRANGE_HEALTH", "DRSTRANGE_FAULT"} {
+	for _, knob := range []string{"DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER", "DRSTRANGE_HEALTH", "DRSTRANGE_FAULT", "DRSTRANGE_WARM"} {
 		if os.Getenv(knob) != "" {
 			envWarnOnce(knob,
 				fmt.Sprintf("%s applies only to serve scenarios; ignored on kind %q", knob, kind))
@@ -220,6 +242,7 @@ var knownEnvKnobs = map[string]bool{
 	"DRSTRANGE_ROUTER":  true,
 	"DRSTRANGE_HEALTH":  true,
 	"DRSTRANGE_FAULT":   true,
+	"DRSTRANGE_WARM":    true,
 }
 
 // WarnUnknownEnvKnobs warns once per variable about environment

@@ -30,6 +30,8 @@ var (
 	memoMu    sync.Mutex
 	runMemo   = map[string]*inflight[RunResult]{}
 	aloneMemo = map[string]*inflight[AppResult]{}
+	warmMemo  = map[string]*inflight[*SystemImage]{}
+	secMemo   = map[string]*inflight[*secImage]{}
 )
 
 // ResetMemo clears the caches (tests). Safe to call concurrently with
@@ -40,6 +42,8 @@ func ResetMemo() {
 	defer memoMu.Unlock()
 	runMemo = map[string]*inflight[RunResult]{}
 	aloneMemo = map[string]*inflight[AppResult]{}
+	warmMemo = map[string]*inflight[*SystemImage]{}
+	secMemo = map[string]*inflight[*secImage]{}
 }
 
 // single returns the cached or in-flight value for key, computing it
@@ -108,6 +112,42 @@ func memoRun(cfg RunConfig) RunResult {
 	}
 	return single(func() map[string]*inflight[RunResult] { return runMemo },
 		runKey(cfg), func() RunResult { return runGated(cfg) })
+}
+
+// warmKey identifies one warm image: everything that shapes the
+// background-only warmup — the built System (design, mechanism, buffer,
+// background mix, clients, topology, health/fault, seed) plus the
+// warmup horizon and the execution mode (keyed for the same reason
+// runKey keys them: the differential tests flip modes mid-process).
+// Deliberately absent: the offered load, arrival process, request size,
+// and window length — warm images are shared across all of those, which
+// is the whole point.
+func warmKey(cfg ServeConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "d%d|%s|rng%g|m%s|b%d|s%d|c%d|w%d|sh%d|r%s|h%s|f%s|e%s|q%s",
+		cfg.Design, strings.Join(cfg.Background.Apps, ","), cfg.Background.RNGMbps,
+		cfg.Mech.Name, cfg.BufferWords, cfg.Seed, cfg.Clients, cfg.WarmupTicks,
+		cfg.Shards, cfg.Router, cfg.Health, cfg.Fault, Engine(), EventQueue())
+	return b.String()
+}
+
+// warmImage returns the memoized warm image for the configuration,
+// building it on first use. Singleflight: concurrent sweep points (and
+// concurrent sweeps) over the same configuration share one warm-up.
+func warmImage(cfg ServeConfig) *SystemImage {
+	return single(func() map[string]*inflight[*SystemImage] { return warmMemo },
+		warmKey(cfg), func() *SystemImage { return buildWarmImage(cfg) })
+}
+
+// warmSecImage returns the memoized warmed two-party security-harness
+// image (security.go) for the buffer kind, building it on first use.
+func warmSecImage(partitioned bool) *secImage {
+	key := "shared"
+	if partitioned {
+		key = "partitioned"
+	}
+	return single(func() map[string]*inflight[*secImage] { return secMemo },
+		key, func() *secImage { return buildSecImage(partitioned) })
 }
 
 // aloneResult returns the application's single-core run on design d

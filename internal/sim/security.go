@@ -50,6 +50,44 @@ func newSecurityHarness(partitioned bool) *securityHarness {
 	return &securityHarness{ctrl: ctrl}
 }
 
+// secWarmTicks is the buffer warm-up every security experiment runs
+// before probing (idle ticks for the fill machinery to fill the
+// buffer). It used to be a hand-rolled h.tick(2000) per harness; the
+// warm-image path below pays it once per buffer kind per process.
+const secWarmTicks = 2000
+
+// secImage is a frozen warmed two-party harness: the controller after
+// secWarmTicks idle ticks, plus the RNG-round completion times that
+// warm-up produced. The round times matter to forks that attach a
+// round observer (the health adversary's entropy monitor): the
+// controller's warm evolution is observer-independent — the round hook
+// only watches — so replaying the recorded times through the fork's own
+// observer reconstructs exactly the state an inline warm-up would have
+// built. Images are immutable; fork clones per use.
+type secImage struct {
+	ctrl   *memctrl.Controller
+	now    int64
+	rounds []int64
+}
+
+// buildSecImage warms one harness configuration from scratch, recording
+// every RNG-round completion time.
+func buildSecImage(partitioned bool) *secImage {
+	img := &secImage{now: secWarmTicks}
+	h := newSecurityHarness(partitioned)
+	h.ctrl.RebindHooks(nil, func(_ int, now int64) { img.rounds = append(img.rounds, now) })
+	h.tick(secWarmTicks)
+	h.ctrl.RebindHooks(nil, nil)
+	img.ctrl = h.ctrl
+	return img
+}
+
+// fork returns an independent harness resumed from the warmed image.
+func (img *secImage) fork() *securityHarness {
+	ctrl, _ := img.ctrl.Clone() // no requests outstanding at warm time
+	return &securityHarness{ctrl: ctrl, now: img.now}
+}
+
 func (h *securityHarness) tick(n int64) {
 	for i := int64(0); i < n; i++ {
 		if h.onTick != nil {
@@ -126,8 +164,7 @@ func SecurityAnalysis(instr int64) []Figure {
 		Labels: []string{"miss idle", "miss active", "advantage", "bits/window"},
 	}
 	for _, part := range []bool{false, true} {
-		h := newSecurityHarness(part)
-		h.tick(2000) // warm the buffer
+		h := warmSecImage(part).fork() // buffer already warm
 		idle := h.probePhase(trials, false)
 		active := h.probePhase(trials, true)
 		adv := math.Abs(active.missRate - idle.missRate)

@@ -81,6 +81,26 @@ type ServeConfig struct {
 	// every shard's entropy stream (trng.FaultNames: bias-ramp,
 	// stuck-bits, burst); "" selects DRSTRANGE_FAULT, then none.
 	Fault string
+	// Warm switches checkpointed warm starts: "on" or "off"; "" selects
+	// DRSTRANGE_WARM, then "off". When on, the sweep warms exactly one
+	// background-only System per configuration to WarmupTicks, snapshots
+	// it as an immutable image (memoized process-wide, so concurrent
+	// sweeps share one warm-up), and forks every offered-load point from
+	// that image — the warmup work is paid once per configuration
+	// instead of once per point. A warm point injects no warmup-period
+	// arrivals (the image is shared across loads, so it cannot contain
+	// load-dependent state); the measured-window arrival schedule and
+	// client rotation are unchanged. The default cold path is
+	// byte-identical to every historical serve figure; warm mode is a
+	// different (deterministic) experiment, which is why it is opt-in.
+	Warm string
+	// Checkpoint, when positive, snapshots the running point's System
+	// every Checkpoint ticks inside the measurement window and resumes
+	// it from the restored image — periodic checkpoint/resume for long
+	// windows. Restore-then-step is byte-identical to uninterrupted
+	// stepping (the Snapshot differential tests pin it), so the measured
+	// output does not depend on the interval; <= 0 disables.
+	Checkpoint int64
 }
 
 // Normalized returns the configuration with its defaults filled in:
@@ -130,6 +150,18 @@ func (c ServeConfig) Normalized() ServeConfig {
 		// only observable through the monitor).
 		c.Health = "off"
 		c.Fault = ""
+	}
+	if c.Warm == "" {
+		c.Warm = DefaultWarm()
+	}
+	if c.Warm != "on" || c.WarmupTicks == 0 {
+		// Normalize every negative spelling to "off"; with no warmup
+		// there is no warm state to share, so cold start is the same
+		// experiment and the image machinery would only add overhead.
+		c.Warm = "off"
+	}
+	if c.Checkpoint < 0 {
+		c.Checkpoint = 0
 	}
 	return c
 }
@@ -280,23 +312,16 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		panic(fmt.Sprintf("sim: %v", err)) // unreachable: ServeLoadCtx vetted the name
 	}
 
-	rcfg := RunConfig{
-		Design:       cfg.Design,
-		Mix:          cfg.Background,
-		Mech:         cfg.Mech,
-		BufferWords:  cfg.BufferWords,
-		Instructions: serveTarget,
-		Seed:         cfg.Seed,
-		Clients:      cfg.Clients,
-		Shards:       cfg.Shards,
-		Router:       cfg.Router,
-	}
 	healthOn := cfg.Health == "on"
-	if healthOn {
-		rcfg.Health = trng.DefaultHealthConfig()
-		rcfg.Fault = trng.DefaultFaultProfile(cfg.Fault)
+	warmOn := cfg.Warm == "on"
+	var sys *System
+	if warmOn {
+		// Fork this point from the sweep-shared warm image instead of
+		// re-running the warmup: the image already sits at WarmupTicks.
+		sys = RestoreSystem(warmImage(cfg))
+	} else {
+		sys = NewSystem(servePointRunConfig(cfg))
 	}
-	sys := NewSystem(rcfg)
 
 	end := cfg.WarmupTicks + cfg.WindowTicks
 	if healthOn {
@@ -310,7 +335,7 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		doneWords         int64
 		completedInWindow int64
 	)
-	sys.OnInjectionComplete(func(r *InjectedRequest) {
+	onDone := func(r *InjectedRequest) {
 		if r.Failed {
 			// Deadline-failed at a tripped shard: counted by the
 			// availability stats (ServeHealth.FailedRequests), never by
@@ -329,7 +354,8 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		sumTicks += l
 		bufWords += int64(r.BufferWords)
 		doneWords += int64(r.Words)
-	})
+	}
+	sys.OnInjectionComplete(onDone)
 
 	// Advance in bounded slices, feeding each slice's arrivals to the
 	// injection port just before stepping across it. The StepTo slicing
@@ -337,6 +363,24 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	// injections carry timestamps, so chunked feeding is equivalent to
 	// the old whole-window pre-generation — minus the O(all arrivals)
 	// schedule.
+	//
+	// A warm point resumes at WarmupTicks: the arrival draw stream still
+	// starts from tick 0 (so the measured-window schedule and client
+	// rotation match the cold run draw for draw), but arrivals before
+	// the resume tick are skipped — the shared warm image was built
+	// without them, which is the warm mode's one semantic difference.
+	injectFrom := int64(0)
+	if warmOn {
+		injectFrom = cfg.WarmupTicks
+	}
+	// Periodic checkpoint/resume (long-window points): every Checkpoint
+	// ticks the System is snapshotted and replaced by its own restore,
+	// exercising the full snapshot path on the measured run. Restore ≡
+	// replay, so the measurement is byte-identical to Checkpoint = 0.
+	nextCkpt := int64(1) << 62
+	if cfg.Checkpoint > 0 {
+		nextCkpt = sys.Now() + cfg.Checkpoint
+	}
 	chunk := workload.NewChunked(arr)
 	reqIdx := 0
 	for sys.Now() < end {
@@ -351,10 +395,17 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 			if tick >= cfg.WarmupTicks {
 				p.Submitted++
 			}
-			sys.InjectRNG(reqIdx%cfg.Clients, tick, words)
+			if tick >= injectFrom {
+				sys.InjectRNG(reqIdx%cfg.Clients, tick, words)
+			}
 			reqIdx++
 		})
 		sys.StepTo(target)
+		if sys.Now() >= nextCkpt {
+			sys = RestoreSystem(sys.Snapshot())
+			sys.OnInjectionComplete(onDone)
+			nextCkpt = sys.Now() + cfg.Checkpoint
+		}
 	}
 	// Drain: an open-loop measurement must not censor slow requests,
 	// so step until every one completes. The horizon bounds a saturated
@@ -397,6 +448,50 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		p.Health = &h
 	}
 	return p
+}
+
+// servePointRunConfig lowers a normalized ServeConfig onto the
+// RunConfig a serve point's System is built from — one definition
+// shared by the cold path and the warm-image builder, so a forked warm
+// System is structurally identical to a cold one.
+func servePointRunConfig(cfg ServeConfig) RunConfig {
+	rcfg := RunConfig{
+		Design:       cfg.Design,
+		Mix:          cfg.Background,
+		Mech:         cfg.Mech,
+		BufferWords:  cfg.BufferWords,
+		Instructions: serveTarget,
+		Seed:         cfg.Seed,
+		Clients:      cfg.Clients,
+		Shards:       cfg.Shards,
+		Router:       cfg.Router,
+	}
+	if cfg.Health == "on" {
+		rcfg.Health = trng.DefaultHealthConfig()
+		rcfg.Fault = trng.DefaultFaultProfile(cfg.Fault)
+	}
+	return rcfg
+}
+
+// buildWarmImage runs the background-only warmup once and freezes it:
+// a System with no injected arrivals stepped to WarmupTicks, then
+// snapshotted. Health monitoring (if on) runs during the warmup under
+// a zero-length availability window, so warmup-period trips never
+// count toward any point's downtime — exactly as in a cold run, where
+// the window also opens at WarmupTicks.
+func buildWarmImage(cfg ServeConfig) *SystemImage {
+	sys := NewSystem(servePointRunConfig(cfg))
+	if cfg.Health == "on" {
+		sys.SetAvailabilityWindow(cfg.WarmupTicks, cfg.WarmupTicks)
+	}
+	for sys.Now() < cfg.WarmupTicks {
+		target := sys.Now() + serveSlice
+		if target > cfg.WarmupTicks-1 {
+			target = cfg.WarmupTicks - 1
+		}
+		sys.StepTo(target)
+	}
+	return sys.Snapshot()
 }
 
 // ServeCurves runs the offered-load sweep for each design and renders

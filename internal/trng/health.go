@@ -25,6 +25,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 )
 
 // HealthConfig parameterizes the continuous health tests. The zero
@@ -161,7 +162,13 @@ type HealthMonitor struct {
 	ringPos  int
 	ringFull bool
 	ones     int
-	pCut     float64
+
+	// monoTrip[k] precomputes the full-window verdict for a ones count
+	// of k: pFromZ((2k-n)/sqrt(n)) < pFromZ(MonobitZ). The ones count
+	// is the only per-word input once the ring is full, so the erfc
+	// drops off the hot path without changing a single decision.
+	// Immutable after construction and shared by Clone.
+	monoTrip []bool
 }
 
 // NewHealthMonitor builds a monitor for cfg (defaults filled in). The
@@ -172,10 +179,38 @@ func NewHealthMonitor(cfg HealthConfig) *HealthMonitor {
 		panic(err.Error())
 	}
 	return &HealthMonitor{
-		cfg:  cfg,
-		ring: make([]uint8, cfg.MonobitWindow/64),
-		pCut: pFromZ(cfg.MonobitZ),
+		cfg:      cfg,
+		ring:     make([]uint8, cfg.MonobitWindow/64),
+		monoTrip: monoTripTable(cfg.MonobitWindow, cfg.MonobitZ),
 	}
+}
+
+// monoTripTables caches monobit verdict tables by (window, z): a table
+// costs MonobitWindow+1 erfc evaluations, every monitor of a sweep
+// shares the same parameters, and sweeps construct one monitor per
+// shard per point — without the cache the table build is the dominant
+// per-point cost of health monitoring.
+var monoTripTables sync.Map
+
+type monoTripKey struct {
+	window int
+	z      float64
+}
+
+func monoTripTable(window int, zCut float64) []bool {
+	key := monoTripKey{window, zCut}
+	if t, ok := monoTripTables.Load(key); ok {
+		return t.([]bool)
+	}
+	pCut := pFromZ(zCut)
+	n := float64(window)
+	monoTrip := make([]bool, window+1)
+	for k := range monoTrip {
+		z := (2*float64(k) - n) / math.Sqrt(n)
+		monoTrip[k] = pFromZ(z) < pCut
+	}
+	t, _ := monoTripTables.LoadOrStore(key, monoTrip)
+	return t.([]bool)
 }
 
 // ObserveWord feeds one 64-bit word through all three tests and
@@ -195,11 +230,27 @@ func (m *HealthMonitor) ObserveWord(w uint64) HealthVerdict {
 		m.ringPos = 0
 		m.ringFull = true
 	}
-	if m.ringFull {
-		n := float64(m.cfg.MonobitWindow)
-		z := (2*float64(m.ones) - n) / math.Sqrt(n)
-		if pFromZ(z) < m.pCut {
-			return TripMonobit
+	if m.ringFull && m.monoTrip[m.ones] {
+		return TripMonobit
+	}
+	// Fast path. In a healthy stream almost every word has no two
+	// adjacent equal bytes, no first byte equal to the previous word's
+	// last, no byte equal to the APT window's reference value, and no
+	// APT window boundary inside it. Such a word advances no run or
+	// proportion counter, so its whole effect on the byte loop below is
+	// rctLast = top byte, rctRun = 1, aptPos += 8 — and any word that
+	// could trip or move a counter fails one of the two zero-byte
+	// probes and takes the loop instead.
+	if m.rctPrimed && m.aptPos != 0 && m.aptPos+8 <= m.cfg.APTWindow {
+		adj := w ^ (w<<8 | uint64(m.rctLast))
+		ref := w ^ (uint64(m.aptFirst) * 0x0101010101010101)
+		if !hasZeroByte(adj) && !hasZeroByte(ref) {
+			m.rctLast, m.rctRun = byte(w>>56), 1
+			m.aptPos += 8
+			if m.aptPos == m.cfg.APTWindow {
+				m.aptPos = 0
+			}
+			return HealthOK
 		}
 	}
 	for i := 0; i < 8; i++ {
@@ -226,6 +277,23 @@ func (m *HealthMonitor) ObserveWord(w uint64) HealthVerdict {
 		}
 	}
 	return HealthOK
+}
+
+// hasZeroByte reports whether any byte of v is zero (the standard
+// subtract-and-mask probe): the fast-path detector for "some byte of w
+// equals b" after xoring w with b broadcast to every lane.
+func hasZeroByte(v uint64) bool {
+	return (v-0x0101010101010101) & ^v & 0x8080808080808080 != 0
+}
+
+// Clone returns an independent monitor at the same stream position:
+// both copies produce identical verdicts on the identical future word
+// sequence (snapshot/restore support).
+func (m *HealthMonitor) Clone() *HealthMonitor {
+	cp := *m
+	cp.ring = make([]uint8, len(m.ring))
+	copy(cp.ring, m.ring)
+	return &cp
 }
 
 // Reset clears all streaming state — the re-qualification of a

@@ -1,6 +1,7 @@
 package trng
 
 import (
+	"math"
 	"testing"
 )
 
@@ -174,5 +175,138 @@ func BenchmarkHealthMonitorObserveWord(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.ObserveWord(s.Emit(int64(i)))
+	}
+}
+
+// refMonitor is the straight-line reference for ObserveWord: the byte
+// loop with no fast path and the monobit p-value computed from the
+// erfc formula per word rather than the precomputed ones-count table.
+// The differential below pins both optimizations to it.
+type refMonitor struct {
+	cfg       HealthConfig
+	rctLast   byte
+	rctRun    int
+	rctPrimed bool
+	aptFirst  byte
+	aptCount  int
+	aptPos    int
+	ring      []uint8
+	ringPos   int
+	ringFull  bool
+	ones      int
+	pCut      float64
+}
+
+func newRefMonitor(cfg HealthConfig) *refMonitor {
+	cfg = cfg.WithDefaults()
+	return &refMonitor{
+		cfg:  cfg,
+		ring: make([]uint8, cfg.MonobitWindow/64),
+		pCut: pFromZ(cfg.MonobitZ),
+	}
+}
+
+func (m *refMonitor) observeWord(w uint64) HealthVerdict {
+	pc := uint8(popcount(w))
+	if m.ringFull {
+		m.ones -= int(m.ring[m.ringPos])
+	}
+	m.ring[m.ringPos] = pc
+	m.ones += int(pc)
+	m.ringPos++
+	if m.ringPos == len(m.ring) {
+		m.ringPos = 0
+		m.ringFull = true
+	}
+	if m.ringFull {
+		n := float64(m.cfg.MonobitWindow)
+		z := (2*float64(m.ones) - n) / math.Sqrt(n)
+		if pFromZ(z) < m.pCut {
+			return TripMonobit
+		}
+	}
+	for i := 0; i < 8; i++ {
+		b := byte(w >> (8 * i))
+		if m.rctPrimed && b == m.rctLast {
+			m.rctRun++
+			if m.rctRun >= m.cfg.RCTCutoff {
+				return TripRepetition
+			}
+		} else {
+			m.rctLast, m.rctRun, m.rctPrimed = b, 1, true
+		}
+		if m.aptPos == 0 {
+			m.aptFirst, m.aptCount = b, 1
+		} else if b == m.aptFirst {
+			m.aptCount++
+			if m.aptCount >= m.cfg.APTCutoff {
+				return TripProportion
+			}
+		}
+		m.aptPos++
+		if m.aptPos == m.cfg.APTWindow {
+			m.aptPos = 0
+		}
+	}
+	return HealthOK
+}
+
+func (m *refMonitor) reset() {
+	m.rctPrimed, m.rctRun = false, 0
+	m.aptPos, m.aptCount = 0, 0
+	for i := range m.ring {
+		m.ring[i] = 0
+	}
+	m.ringPos, m.ringFull, m.ones = 0, false, 0
+}
+
+// TestHealthMonitorFastPathDifferential drives the monitor and the
+// reference over adversarial word streams — clean random words,
+// stretches of repeated bytes, words stuffed with the APT reference
+// byte, and all of it across APT-window and monobit-ring boundaries —
+// and demands verdict-for-verdict agreement, resetting both on trips
+// exactly like quarantine re-qualification does.
+func TestHealthMonitorFastPathDifferential(t *testing.T) {
+	configs := []HealthConfig{
+		DefaultHealthConfig(),
+		{Enabled: true, MonobitWindow: 256, APTWindow: 24, APTCutoff: 9, RCTCutoff: 5},
+	}
+	for ci, cfg := range configs {
+		m := NewHealthMonitor(cfg)
+		ref := newRefMonitor(cfg)
+		rng := uint64(0x9E3779B97F4A7C15 + uint64(ci))
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for i := 0; i < 300_000; i++ {
+			w := next()
+			switch i % 37 {
+			case 3: // runs of one byte, crossing word boundaries
+				b := w & 0xFF
+				w = b | b<<8 | b<<16 | b<<24 | b<<32 | b<<40 | b<<48 | b<<56
+			case 7: // repeat the previous word's top byte at the bottom
+				w = w&^uint64(0xFF) | uint64(ref.rctLast)
+			case 11: // plant the APT reference byte in a random lane
+				sh := (w >> 58) & 0x38
+				w = w&^(uint64(0xFF)<<sh) | uint64(ref.aptFirst)<<sh
+			case 13: // heavy ones bias to push the monobit window
+				w |= next()
+				w |= next()
+			case 17: // heavy zeros bias
+				w &= next()
+				w &= next()
+			}
+			got, want := m.ObserveWord(w), ref.observeWord(w)
+			if got != want {
+				t.Fatalf("config %d word %d (%#x): ObserveWord=%v ref=%v", ci, i, w, got, want)
+			}
+			if got != HealthOK {
+				m.Reset()
+				ref.reset()
+			}
+		}
 	}
 }

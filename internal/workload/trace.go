@@ -86,6 +86,14 @@ func (t *appTrace) nextLine() uint64 {
 	return t.geom.LineOf(t.cur)
 }
 
+// CloneTrace implements cpu.TraceCloner: the copy continues the
+// identical op stream.
+func (t *appTrace) CloneTrace() cpu.Trace {
+	cp := *t
+	cp.rng = t.rng.Clone()
+	return &cp
+}
+
 // NextOp implements cpu.Trace.
 func (t *appTrace) NextOp() cpu.Op {
 	kind := cpu.OpLoad
@@ -170,6 +178,14 @@ func NewRNGTrace(cfg RNGTraceConfig, geom dram.Geometry) cpu.Trace {
 		rng:   prng.NewXoshiro256(cfg.Seed),
 		pLoad: pLoad,
 	}
+}
+
+// CloneTrace implements cpu.TraceCloner: the copy continues the
+// identical op stream.
+func (t *rngTrace) CloneTrace() cpu.Trace {
+	cp := *t
+	cp.rng = t.rng.Clone()
+	return &cp
 }
 
 // NextOp implements cpu.Trace: RNG requests at the required cadence,

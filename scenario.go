@@ -49,8 +49,9 @@ const SchemaVersion = 1
 //	run:    Design, Apps, RNGMbps, Priorities, Mechanism, BufferWords,
 //	        Instructions, Seed
 //	serve:  Designs, Loads, Arrival, Burstiness, Clients, RequestBytes,
-//	        WarmupTicks, WindowTicks, Shards, Router, Apps (background
-//	        load), Mechanism, BufferWords, Seed
+//	        WarmupTicks, WindowTicks, Shards, Router, Health, Fault,
+//	        Warm, Checkpoint, Apps (background load), Mechanism,
+//	        BufferWords, Seed
 //	all:    Engine, Workers (execution knobs)
 //
 // Precedence of the execution knobs: a scenario field that is set wins
@@ -136,6 +137,17 @@ type Scenario struct {
 	// DRSTRANGE_FAULT (then none). Serve scenarios only. Setting a
 	// fault with health explicitly "off" is a validation error.
 	Fault string `json:"fault,omitempty"`
+	// Warm switches checkpointed warm starts ("on" or "off"): the sweep
+	// warms one system image per configuration and forks every
+	// offered-load point from it instead of re-running the warmup per
+	// point. "" defers to DRSTRANGE_WARM (then "off"). Serve scenarios
+	// only.
+	Warm string `json:"warm,omitempty"`
+	// Checkpoint, when positive, snapshots and restores the running
+	// point's system every Checkpoint ticks inside the measurement
+	// window (periodic checkpoint/resume for long windows); the output
+	// is byte-identical to an uncheckpointed run. Serve scenarios only.
+	Checkpoint int64 `json:"checkpoint,omitempty"`
 }
 
 // Option mutates a Scenario under construction (NewScenario).
@@ -224,6 +236,14 @@ func WithHealth(mode string) Option { return func(s *Scenario) { s.Health = mode
 // WithFault selects the serve scenario's injected entropy degradation
 // profile (see FaultNames). A fault implies health monitoring.
 func WithFault(name string) Option { return func(s *Scenario) { s.Fault = name } }
+
+// WithWarm switches the serve scenario's checkpointed warm starts
+// ("on" or "off").
+func WithWarm(mode string) Option { return func(s *Scenario) { s.Warm = mode } }
+
+// WithCheckpoint sets the serve scenario's periodic checkpoint/resume
+// interval in ticks (0 = off).
+func WithCheckpoint(ticks int64) Option { return func(s *Scenario) { s.Checkpoint = ticks } }
 
 // ExperimentIDs lists the accepted figure-scenario experiment ids in
 // stable order (the paper's figure/table identifiers).
@@ -338,6 +358,8 @@ func (s Scenario) serveOnlyFields() []fieldPresence {
 		{"router", s.Router != ""},
 		{"health", s.Health != ""},
 		{"fault", s.Fault != ""},
+		{"warm", s.Warm != ""},
+		{"checkpoint", s.Checkpoint != 0},
 	}
 }
 
@@ -492,6 +514,14 @@ func (s Scenario) Validate() error {
 		if n.Fault != "" && n.Health == "off" {
 			return fmt.Errorf("fault %q needs health monitoring; drop health or set it to \"on\"", n.Fault)
 		}
+		switch n.Warm {
+		case "", "on", "off":
+		default:
+			return fmt.Errorf("unknown warm mode %q (want \"on\" or \"off\")", n.Warm)
+		}
+		if n.Checkpoint < 0 {
+			return fmt.Errorf("checkpoint must be >= 0; got %d", n.Checkpoint)
+		}
 	}
 	return nil
 }
@@ -580,6 +610,8 @@ func (s Scenario) serveConfig() (sim.ServeConfig, []sim.Design) {
 		Router:       n.Router, // "" defers to DRSTRANGE_ROUTER likewise
 		Health:       n.Health, // "" defers to DRSTRANGE_HEALTH likewise
 		Fault:        n.Fault,  // "" defers to DRSTRANGE_FAULT likewise
+		Warm:         n.Warm,   // "" defers to DRSTRANGE_WARM likewise
+		Checkpoint:   n.Checkpoint,
 	}, designs
 }
 
