@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet ci-matrix bench-smoke bench-json bench-compare bench-gate figures examples-smoke scenario-smoke ci
+.PHONY: all build test race fmt vet staticcheck lint-custom lint ci-matrix bench-smoke bench-json bench-compare bench-gate figures examples-smoke scenario-smoke ci
 
 all: build
 
@@ -39,6 +39,28 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck at the version CI pins. The development container is
+# offline (no module proxy), so locally this runs only when a
+# staticcheck binary is already installed; CI always runs the pinned
+# version via `go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)`.
+STATICCHECK_VERSION = 2025.1.1
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping locally (CI enforces the pinned $(STATICCHECK_VERSION))"; \
+	fi
+
+# drstrangelint: the repo's own analyzer suite (internal/lint) — the
+# determinism, hook no-reentry, noalloc hot-path, and envknob
+# central-parsing contracts. Zero tolerance: any diagnostic fails.
+lint-custom:
+	$(GO) run ./cmd/drstrangelint ./...
+
+# The full static gate: formatting, go vet, staticcheck (when
+# available; see above), and the repo's own contract analyzers.
+lint: fmt vet staticcheck lint-custom
 
 # One iteration of the Figure 1 driver at a small budget: end-to-end
 # smoke of the sweep machinery.
@@ -151,4 +173,4 @@ scenario-smoke:
 	fi; \
 	rm -rf $$tmp; echo "scenario-smoke OK: degraded serve output matches the committed trip/availability golden"
 
-ci: fmt vet build test race ci-matrix bench-smoke examples-smoke scenario-smoke
+ci: fmt vet lint-custom build test race ci-matrix bench-smoke examples-smoke scenario-smoke

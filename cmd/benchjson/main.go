@@ -59,6 +59,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"drstrange/internal/sim"
 )
 
 // benchResult is one benchmark's parsed measurements. Metrics maps unit
@@ -167,16 +169,13 @@ func main() {
 		return
 	}
 
+	// The knob provenance comes from the sim package's central
+	// accessor, not a local os.Getenv loop: internal/sim/env.go owns
+	// every DRSTRANGE_ read (the envknob analyzer enforces it), and the
+	// snapshot automatically tracks newly added knobs.
 	snap := snapshot{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Env:         map[string]string{},
-	}
-	for _, k := range []string{"DRSTRANGE_INSTR", "DRSTRANGE_WORKERS", "DRSTRANGE_ENGINE",
-		"DRSTRANGE_EVENTQ", "DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER",
-		"DRSTRANGE_HEALTH", "DRSTRANGE_FAULT", "DRSTRANGE_WARM"} {
-		if v := os.Getenv(k); v != "" {
-			snap.Env[k] = v
-		}
+		Env:         sim.EnvKnobSnapshot(),
 	}
 
 	sc := bufio.NewScanner(os.Stdin)

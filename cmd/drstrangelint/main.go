@@ -1,0 +1,214 @@
+// Command drstrangelint runs the drstrangelint analyzer suite
+// (internal/lint) over the module: detlint, envknob, hookcheck, and
+// noalloc — the compile-time enforcement of the simulator's
+// determinism, hook no-reentry, and hot-path allocation contracts.
+//
+// Usage:
+//
+//	go run ./cmd/drstrangelint [flags] [./... | ./pkg/... | ./pkg]
+//
+// With no patterns (or ./...) the whole module is analyzed. Whatever
+// the patterns, the entire module is always loaded and type-checked —
+// hookcheck's transitive walk needs every function body — and the
+// patterns only select which packages' diagnostics are reported.
+//
+// Diagnostics are printed one per line as
+//
+//	path/file.go:line:col: [analyzer] message
+//
+// sorted by position. Exit status: 0 with no diagnostics, 1 with
+// diagnostics, 2 on a load, parse, or type-check failure.
+//
+// The suite is built on internal/lint/analysis, a stdlib-only mirror
+// of the golang.org/x/tools/go/analysis API; in an environment with
+// x/tools available the analyzers port mechanically onto the real
+// multichecker (and go vet -vettool). See internal/lint/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"drstrange/internal/lint"
+	"drstrange/internal/lint/analysis"
+	"drstrange/internal/lint/loader"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: drstrangelint [-list] [-only a,b] [patterns]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown analyzer %q (run with -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := loader.Config{Root: root}.Load()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	match, err := patternFilter(root, flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	type diag struct {
+		file      string
+		line, col int
+		analyzer  string
+		message   string
+	}
+	var diags []diag
+	for _, pkg := range prog.Packages {
+		if !match(pkg) {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Prog:     prog,
+				Report: func(d analysis.Diagnostic) {
+					pos := prog.Fset.Position(d.Pos)
+					file := pos.Filename
+					if rel, err := filepath.Rel(mustGetwd(), file); err == nil && !strings.HasPrefix(rel, "..") {
+						file = rel
+					}
+					diags = append(diags, diag{file, pos.Line, pos.Column, a.Name, d.Message})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				fatalf("analyzer %s: %v", a.Name, err)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", d.file, d.line, d.col, d.analyzer, d.message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "drstrangelint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir := mustGetwd()
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("drstrangelint: no go.mod found above %s", mustGetwd())
+		}
+		dir = parent
+	}
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("getwd: %v", err)
+	}
+	return wd
+}
+
+// patternFilter translates go-style package patterns (./..., ./x/...,
+// ./x) rooted at the working directory into a package predicate. No
+// patterns means everything.
+func patternFilter(root string, patterns []string) (func(*analysis.Package) bool, error) {
+	if len(patterns) == 0 {
+		return func(*analysis.Package) bool { return true }, nil
+	}
+	wd := mustGetwd()
+	type rule struct {
+		dir       string // absolute directory the pattern anchors at
+		recursive bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		if p == "all" || (p == "./..." && wd == root) {
+			return func(*analysis.Package) bool { return true }, nil
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			recursive, p = true, rest
+		}
+		if p == "" {
+			p = "."
+		}
+		if !strings.HasPrefix(p, ".") && !filepath.IsAbs(p) {
+			return nil, fmt.Errorf("drstrangelint: unsupported pattern %q (use ./dir, ./dir/..., or ./...)", p)
+		}
+		abs, err := filepath.Abs(filepath.Join(wd, p))
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rule{dir: abs, recursive: recursive})
+	}
+	return func(pkg *analysis.Package) bool {
+		for _, r := range rules {
+			if pkg.Dir == r.dir {
+				return true
+			}
+			if r.recursive && strings.HasPrefix(pkg.Dir, r.dir+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "drstrangelint: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -194,4 +194,37 @@
 // Scenario fields take precedence over the environment when set; unset
 // fields defer to it, so serialized scenarios stay portable across
 // differently tuned hosts. The cmd/ drivers expose matching flags.
+//
+// # Static analysis
+//
+// The invariants above are also enforced statically. drstrangelint
+// (internal/lint, driven by `go run ./cmd/drstrangelint ./...`) is a
+// suite of four go/analysis-style analyzers that check every non-test
+// file of the module:
+//
+//   - detlint forbids nondeterminism sources — wall-clock reads, the
+//     global math/rand, order-sensitive map ranges, multi-case
+//     selects, sync.Map iteration — inside the simulation-core
+//     packages, whose every tick is on the byte-identical replay path.
+//   - hookcheck enforces the hook no-reentry contract documented
+//     above: an OnRNGRound or OnInjectionComplete body, followed
+//     transitively through static calls, must not step the System,
+//     inject a request, or re-enter the controller's request path
+//     (Controller.SetEntropySuspect is the one sanctioned reentry —
+//     the health monitor's trip fires from inside a round by design).
+//   - noalloc checks functions annotated //drstrange:noalloc — the
+//     serve, engine, and health hot paths behind the allocs/op
+//     benchmark gates — for allocation-forcing constructs.
+//   - envknob requires every DRSTRANGE_* environment lookup to go
+//     through internal/sim/env.go, keeping the warn-once validation
+//     and typo scan exhaustive.
+//
+// Justified findings are waived in place with "//drstrange:nondet-ok
+// <reason>" or "//drstrange:alloc-ok <reason>"; the reason is
+// mandatory, and a typo'd directive verb is itself a finding. `make
+// lint` runs gofmt, go vet, staticcheck (when installed), and the
+// suite; CI fails on any diagnostic. The analyzers are built on
+// internal/lint/analysis, a dependency-free mirror of the
+// golang.org/x/tools/go/analysis API, so the module stays free of
+// third-party dependencies.
 package drstrange

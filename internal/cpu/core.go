@@ -192,6 +192,8 @@ func (c *Core) Finished() bool { return c.stats.Finished }
 // Tick advances the core by one memory cycle: retire up to the budget
 // from the window head, then dispatch up to the budget new
 // instructions.
+//
+//drstrange:noalloc
 func (c *Core) Tick(now int64) {
 	retired := c.retire()
 	c.dispatch(now)
@@ -220,6 +222,7 @@ func (c *Core) Tick(now int64) {
 	}
 }
 
+//drstrange:noalloc
 func (c *Core) retire() int {
 	n := 0
 	for n < c.budget && c.nEntries > 0 {
@@ -265,6 +268,7 @@ func (c *Core) retire() int {
 	return n
 }
 
+//drstrange:noalloc
 func (c *Core) dispatch(now int64) {
 	slots := c.budget
 	for slots > 0 && c.size < c.windowSize {
@@ -305,6 +309,8 @@ func (c *Core) dispatch(now int64) {
 
 // submit sends the memory part of an op to the controller; it returns
 // false on queue-full backpressure.
+//
+//drstrange:noalloc
 func (c *Core) submit(op *Op, now int64) bool {
 	switch op.Kind {
 	case OpLoad:
@@ -342,6 +348,8 @@ func (c *Core) submit(op *Op, now int64) bool {
 
 // push appends a blocking memory request, absorbing the accumulated
 // tail of free instructions as its program-order prefix.
+//
+//drstrange:noalloc
 func (c *Core) push(req *memctrl.Request) {
 	tail := (c.head + c.nEntries) & c.mask
 	c.win[tail] = winEntry{req: req, freeBefore: c.tailFree}
@@ -357,6 +365,8 @@ func (c *Core) push(req *memctrl.Request) {
 // backpressure with dispatch blocked in order — and only a memory-
 // controller event can unblock it, so it reports the far-future
 // sentinel and lets the controller's own NextEventTick bound the skip.
+//
+//drstrange:noalloc
 func (c *Core) NextEventTick(now int64) int64 {
 	if c.size > 0 {
 		if c.nEntries == 0 {
@@ -378,6 +388,8 @@ func (c *Core) NextEventTick(now int64) int64 {
 // retirement with a pending memory request at the window head counts as
 // a memory (or RNG) stall tick. Counters freeze after the instruction
 // target, as in Tick.
+//
+//drstrange:noalloc
 func (c *Core) AccountSkip(n int64) {
 	if c.stats.Finished || c.size == 0 || c.nEntries == 0 {
 		return

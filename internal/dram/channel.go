@@ -54,11 +54,15 @@ func (c *Channel) Clone() *Channel {
 }
 
 // CmdBusFree reports whether the command bus can carry a command at now.
+//
+//drstrange:noalloc
 func (c *Channel) CmdBusFree(now int64) bool {
 	return now >= c.nextCmd && now >= c.RefreshUntil
 }
 
 // CanACT reports whether ACTIVATE(bank, row) is legal at now.
+//
+//drstrange:noalloc
 func (c *Channel) CanACT(bank int, now int64) bool {
 	return c.CmdBusFree(now) &&
 		c.Banks[bank].canACT(now) &&
@@ -70,8 +74,11 @@ func (c *Channel) CanACT(bank int, now int64) bool {
 // controller must check CanACT first — issuing blind would silently
 // corrupt the timing model, which is the one error this package treats
 // as a programming bug rather than a runtime condition.
+//
+//drstrange:noalloc
 func (c *Channel) IssueACT(bank, row int, now int64) {
 	if !c.CanACT(bank, now) {
+		//drstrange:alloc-ok cold path: Sprintf only feeds the contract-violation panic
 		panic(fmt.Sprintf("dram: illegal ACT bank=%d now=%d", bank, now))
 	}
 	b := &c.Banks[bank]
@@ -90,13 +97,18 @@ func (c *Channel) IssueACT(bank, row int, now int64) {
 }
 
 // CanPRE reports whether PRECHARGE(bank) is legal at now.
+//
+//drstrange:noalloc
 func (c *Channel) CanPRE(bank int, now int64) bool {
 	return c.CmdBusFree(now) && c.Banks[bank].canPRE(now)
 }
 
 // IssuePRE closes the open row in bank.
+//
+//drstrange:noalloc
 func (c *Channel) IssuePRE(bank int, now int64) {
 	if !c.CanPRE(bank, now) {
+		//drstrange:alloc-ok cold path: Sprintf only feeds the contract-violation panic
 		panic(fmt.Sprintf("dram: illegal PRE bank=%d now=%d", bank, now))
 	}
 	b := &c.Banks[bank]
@@ -110,6 +122,8 @@ func (c *Channel) IssuePRE(bank int, now int64) {
 }
 
 // CanRD reports whether READ(bank) is legal at now.
+//
+//drstrange:noalloc
 func (c *Channel) CanRD(bank int, now int64) bool {
 	return c.CmdBusFree(now) && c.Banks[bank].canRD(now) && now >= c.nextRD
 }
@@ -266,6 +280,8 @@ func (c *Channel) SkipStats(n int64) {
 // call is guaranteed false (assuming no commands issue in between) —
 // the lower-bound invariant the event-driven engine's tick-skipping
 // relies on.
+//
+//drstrange:noalloc
 func (c *Channel) EarliestIssue(bank, row int, isWrite bool) int64 {
 	b := &c.Banks[bank]
 	t := c.nextCmd

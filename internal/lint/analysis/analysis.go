@@ -1,0 +1,106 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that drstrangelint's
+// analyzers are written against.
+//
+// The build environment this module must compile in is offline and
+// carries no third-party modules, so vendoring x/tools is not an
+// option; instead this package reimplements the small slice of the
+// go/analysis contract the suite needs — an Analyzer with a Run
+// function over a type-checked Pass that reports position-anchored
+// Diagnostics — on top of go/ast and go/types alone. The shapes are
+// kept deliberately close to the originals (Analyzer.Name/Doc/Run,
+// Pass.Report/Reportf, Diagnostic.Pos/Message) so that, in an
+// environment where golang.org/x/tools is available, the analyzers
+// port onto the real driver (multichecker / unitchecker / go vet
+// -vettool) mechanically.
+//
+// One deliberate divergence: instead of go/analysis facts, a Pass
+// carries the whole-program index (Pass.Prog) so an analyzer like
+// hookcheck can chase call edges across package boundaries directly.
+// Facts exist to make per-package analysis composable with separate
+// compilation; drstrangelint always loads the whole module at once,
+// so the simpler whole-program view is sufficient and much smaller.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, a documentation string, and
+// a Run function invoked once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags
+	// (lowercase, no spaces).
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-line
+	// summary, the rest elaborates the contract it enforces.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings
+	// through the Pass and returns an optional result (unused by the
+	// drstrangelint driver, kept for API parity) plus an error for
+	// analyzer-internal failures — an error aborts the run, it is not
+	// a finding.
+	Run func(*Pass) (any, error)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Package is one loaded, parsed, type-checked module package.
+type Package struct {
+	// Path is the package's import path. For the main module this is
+	// the full module-qualified path ("drstrange/internal/sim"); for
+	// GOPATH-style test trees it is the root-relative path
+	// ("internal/sim").
+	Path string
+
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+
+	// Fset is the file set all of the package's (and its program's)
+	// position information is relative to.
+	Fset *token.FileSet
+
+	// Files holds the package's parsed non-test Go files, with
+	// comments.
+	Files []*ast.File
+
+	// Types is the type-checked package object.
+	Types *types.Package
+
+	// Info carries the type-checker's results: Types, Defs, Uses, and
+	// Selections are populated.
+	Info *types.Info
+}
+
+// A Program is the whole loaded module: every package, in dependency
+// order, sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package          // dependency order (imports first)
+	ByPath   map[string]*Package // keyed by Package.Path
+}
+
+// A Pass connects one Analyzer run to one Package, with the owning
+// Program available for cross-package (whole-module) checks.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Prog     *Program
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,230 @@
+// Package analysistest runs drstrangelint analyzers over golden
+// package trees and checks their diagnostics against expectations
+// embedded in the source, mirroring the conventions of
+// golang.org/x/tools/go/analysis/analysistest (which the offline build
+// environment cannot vendor; see internal/lint/analysis).
+//
+// An expectation is a comment of the form
+//
+//	// want `regexp`
+//	// want "regexp"
+//
+// on the line the diagnostic is expected at; several quoted regexps on
+// one want comment expect several diagnostics on that line. One
+// divergence from the x/tools original: a want may carry a line offset
+//
+//	// want-1 `regexp`
+//	// want+2 `regexp`
+//
+// anchoring the expectation that many lines away. This exists because
+// some diagnostics (unknown or reason-less //drstrange: directives)
+// point at a directive comment, and a trailing "// want" on the same
+// line would merge into the directive's own comment text rather than
+// stand as a separate comment.
+//
+// Each test run reports an error for every diagnostic no want matches
+// and for every want no diagnostic matches, so golden packages pin the
+// analyzer's output exactly — including the lines it must stay silent
+// on.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"drstrange/internal/lint/analysis"
+	"drstrange/internal/lint/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory; packages live under its src/ subdirectory (GOPATH-style,
+// so a package's directory below src is its import path).
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return abs
+}
+
+// Loading a tree type-checks its std imports from source (~seconds),
+// so the program for each testdata root is loaded once and shared by
+// every analyzer's test. Sharing is safe: analyzers only read the
+// program.
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*analysis.Program{}
+	progErr   = map[string]error{}
+)
+
+func loadShared(root string) (*analysis.Program, error) {
+	progMu.Lock()
+	defer progMu.Unlock()
+	if prog, ok := progCache[root]; ok {
+		return prog, progErr[root]
+	}
+	prog, err := loader.Config{Root: root}.Load()
+	progCache[root] = prog
+	progErr[root] = err
+	return prog, err
+}
+
+// Run loads the tree under testdata/src, applies the analyzer to each
+// named package, and checks the diagnostics against the packages' want
+// comments. Listed packages without wants assert analyzer silence.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	prog, err := loadShared(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", testdata, err)
+	}
+
+	type finding struct {
+		file string
+		line int
+		msg  string
+		used bool
+	}
+	var got []*finding
+	for _, path := range pkgPaths {
+		pkg := prog.ByPath[path]
+		if pkg == nil {
+			var known []string
+			for p := range prog.ByPath {
+				known = append(known, p)
+			}
+			sort.Strings(known)
+			t.Fatalf("analysistest: package %q not in testdata tree (have %s)", path, strings.Join(known, ", "))
+		}
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Pkg:      pkg,
+			Prog:     prog,
+			Report: func(d analysis.Diagnostic) {
+				pos := prog.Fset.Position(d.Pos)
+				got = append(got, &finding{file: pos.Filename, line: pos.Line, msg: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, path, err)
+		}
+	}
+
+	wants := collectWants(t, prog, pkgPaths)
+	for _, w := range wants {
+		found := false
+		for _, f := range got {
+			if !f.used && f.file == w.file && f.line == w.line && w.re.MatchString(f.msg) {
+				f.used = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", rel(w.file), w.line, a.Name, w.re)
+		}
+	}
+	for _, f := range got {
+		if !f.used {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", rel(f.file), f.line, a.Name, f.msg)
+		}
+	}
+}
+
+// rel shortens an absolute testdata filename for failure messages.
+func rel(file string) string {
+	if i := strings.Index(file, "testdata"+string(filepath.Separator)); i >= 0 {
+		return file[i:]
+	}
+	return file
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses every want comment in the listed packages' files.
+func collectWants(t *testing.T, prog *analysis.Program, pkgPaths []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, path := range pkgPaths {
+		pkg := prog.ByPath[path]
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					pos := prog.Fset.Position(c.Pos())
+					ws, err := parseWant(c.Text, pos.Filename, pos.Line)
+					if err != nil {
+						t.Fatalf("%s:%d: %v", rel(pos.Filename), pos.Line, err)
+					}
+					wants = append(wants, ws...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant extracts the expectations of one comment: nothing for a
+// non-want comment, one want per quoted regexp otherwise.
+func parseWant(text, file string, line int) ([]*want, error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, nil // /* */ comments carry no wants
+	}
+	body, ok = strings.CutPrefix(strings.TrimLeft(body, " \t"), "want")
+	if !ok {
+		return nil, nil
+	}
+	// An offset suffix (want-1, want+2) re-anchors the expectation.
+	offset := 0
+	if len(body) > 0 && (body[0] == '+' || body[0] == '-') {
+		end := 1
+		for end < len(body) && body[end] >= '0' && body[end] <= '9' {
+			end++
+		}
+		n, err := strconv.Atoi(body[:end])
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: bad want offset %q", body[:end])
+		}
+		offset = n
+		body = body[end:]
+	}
+	if len(body) == 0 || (body[0] != ' ' && body[0] != '\t') {
+		return nil, nil // "wanted", "wants": not a want comment
+	}
+	var wants []*want
+	for {
+		body = strings.TrimLeft(body, " \t")
+		if body == "" {
+			break
+		}
+		quoted, err := strconv.QuotedPrefix(body)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: want expects quoted regexps, got %q", body)
+		}
+		pattern, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: unquoting %s: %v", quoted, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: compiling want pattern %q: %v", pattern, err)
+		}
+		wants = append(wants, &want{file: file, line: line + offset, re: re})
+		body = body[len(quoted):]
+	}
+	if len(wants) == 0 {
+		return nil, fmt.Errorf("analysistest: want comment carries no pattern")
+	}
+	return wants, nil
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drstrange/internal/lint"
+	"drstrange/internal/lint/analysistest"
+)
+
+// TestDetlint pins detlint's findings on the guarded golden package —
+// wall-clock reads, global math/rand, order-sensitive map ranges,
+// multi-case selects, sync.Map iteration, the //drstrange:nondet-ok
+// suppression path, reason-less and typo'd directives — and its
+// silence on the clean mini sim and memctrl packages.
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.Detlint,
+		"internal/workload", "internal/sim", "internal/memctrl")
+}

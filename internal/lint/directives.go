@@ -1,0 +1,128 @@
+package lint
+
+// The //drstrange: comment directives the suite defines:
+//
+//	//drstrange:noalloc             (on a func's doc comment) opts the
+//	                                function into noalloc checking
+//	//drstrange:nondet-ok <reason>  suppresses a detlint finding on the
+//	                                same or the following line
+//	//drstrange:alloc-ok <reason>   suppresses a noalloc finding on the
+//	                                same or the following line
+//
+// Suppression directives require a non-empty reason — a silent waiver
+// is indistinguishable from a stale one — and detlint flags any
+// //drstrange: comment whose verb names no known directive, mirroring
+// envknob's typo scan of the DRSTRANGE_ namespace.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"drstrange/internal/lint/analysis"
+)
+
+const (
+	dirNoalloc  = "noalloc"
+	dirNondetOK = "nondet-ok"
+	dirAllocOK  = "alloc-ok"
+)
+
+// knownDirectives is the complete //drstrange: namespace.
+var knownDirectives = map[string]bool{
+	dirNoalloc:  true,
+	dirNondetOK: true,
+	dirAllocOK:  true,
+}
+
+// directive is one parsed //drstrange:<name> <reason> comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+}
+
+// fileDirectives indexes a file's directives by the line they sit on.
+type fileDirectives map[int][]directive
+
+// parseDirective extracts the directive from a single comment, if any.
+// Both the canonical machine-readable form ("//drstrange:noalloc") and
+// the spaced form ("// drstrange:noalloc") are accepted.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return directive{}, false // /* */ comments carry no directives
+	}
+	text, ok = strings.CutPrefix(strings.TrimLeft(text, " \t"), "drstrange:")
+	if !ok {
+		return directive{}, false
+	}
+	name, reason, _ := strings.Cut(text, " ")
+	return directive{
+		name:   strings.TrimSpace(name),
+		reason: strings.TrimSpace(reason),
+		pos:    c.Pos(),
+	}, true
+}
+
+// parseDirectives indexes every //drstrange: directive of a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) fileDirectives {
+	dirs := fileDirectives{}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			d, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			dirs[line] = append(dirs[line], d)
+		}
+	}
+	return dirs
+}
+
+// suppressedBy reports whether a node starting at pos is covered by a
+// directive of the given name with a non-empty reason: on the node's
+// own line (a trailing comment) or on the line directly above it.
+// Reason-less directives do not suppress; they are reported separately
+// by checkDirectiveReasons so the waiver's justification can't be
+// omitted silently.
+func (dirs fileDirectives) suppressedBy(fset *token.FileSet, pos token.Pos, name string) bool {
+	line := fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range dirs[l] {
+			if d.name == name && d.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether a function's doc comment carries the
+// named directive (reasons are not required on marker directives like
+// //drstrange:noalloc).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDirectiveReasons reports every suppression directive of the
+// given name that lacks a reason. Each analyzer validates the
+// directives it honors, so the diagnostic appears exactly once.
+func checkDirectiveReasons(pass *analysis.Pass, dirs fileDirectives, name string) {
+	for _, ds := range dirs {
+		for _, d := range ds {
+			if d.name == name && d.reason == "" {
+				pass.Reportf(d.pos, "//drstrange:%s requires a reason (//drstrange:%s <why this is sound>)", name, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"path/filepath"
+	"strings"
+
+	"drstrange/internal/lint/analysis"
+)
+
+// Envknob enforces the central-parsing rule for the DRSTRANGE_*
+// environment namespace: internal/sim/env.go owns every lookup, so the
+// warn-once validation and WarnUnknownEnvKnobs' typo scan stay
+// exhaustive — a knob read anywhere else would accept values the
+// central parser never vetted and would hide typos from the scan.
+var Envknob = &analysis.Analyzer{
+	Name: "envknob",
+	Doc: `route every DRSTRANGE_* environment lookup through internal/sim/env.go
+
+Outside internal/sim/env.go, envknob reports:
+
+  - os.Getenv / os.LookupEnv with a constant name in the DRSTRANGE_
+    namespace (read the knob through the sim package's accessors)
+  - os.Getenv / os.LookupEnv with a non-constant name (statically
+    unverifiable; if the name can be a DRSTRANGE_ knob, go through
+    env.go — see sim.EnvKnobSnapshot for the whole-namespace read)
+  - os.Environ (namespace scans live next to WarnUnknownEnvKnobs)`,
+	Run: runEnvknob,
+}
+
+func runEnvknob(pass *analysis.Pass) (any, error) {
+	fset := pass.Pkg.Fset
+	for _, f := range pass.Pkg.Files {
+		if exemptEnvFile(pass.Pkg.Path, fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			switch fn.Name() {
+			case "Environ":
+				pass.Reportf(call.Pos(), "os.Environ scans belong in internal/sim/env.go next to WarnUnknownEnvKnobs")
+			case "Getenv", "LookupEnv":
+				checkEnvLookup(pass, call, fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// exemptEnvFile reports whether a file is the central parser itself:
+// env.go of the internal/sim package.
+func exemptEnvFile(pkgPath, filename string) bool {
+	return pkgPathSuffix2(pkgPath, "internal/sim") && filepath.Base(filename) == "env.go"
+}
+
+// pkgPathSuffix2 is pkgPathSuffix over a raw path string.
+func pkgPathSuffix2(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// checkEnvLookup classifies one Getenv/LookupEnv call outside env.go.
+func checkEnvLookup(pass *analysis.Pass, call *ast.CallExpr, name string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		pass.Reportf(call.Pos(), "os.%s with a non-constant name cannot be checked against the DRSTRANGE_ namespace; route knob lookups through internal/sim/env.go (sim.EnvKnobSnapshot reads the whole namespace)", name)
+		return
+	}
+	if tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.HasPrefix(constant.StringVal(tv.Value), "DRSTRANGE_") {
+		pass.Reportf(call.Pos(), "os.%s(%s) bypasses the central warn-once parsing; read the knob through internal/sim/env.go", name, tv.Value.ExactString())
+	}
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drstrange/internal/lint"
+	"drstrange/internal/lint/analysistest"
+)
+
+// TestEnvknob pins the DRSTRANGE_ central-parsing rule: direct,
+// LookupEnv, named-constant, and non-constant lookups plus os.Environ
+// are reported outside internal/sim/env.go, while the mini sim
+// package's env.go — full of the same lookups — is exempt.
+func TestEnvknob(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.Envknob,
+		"envpkg", "internal/sim")
+}

@@ -1,0 +1,270 @@
+// Package loader discovers, parses, and type-checks every package of a
+// Go module tree using only the standard library, producing the
+// analysis.Program that drstrangelint's analyzers run over.
+//
+// Two resolution domains cover every import:
+//
+//   - Imports inside the loaded tree (the module path itself or any
+//     path below it) are parsed and type-checked from source,
+//     recursively and memoized, in dependency order.
+//   - Everything else is delegated to the standard library's source
+//     importer (go/importer with compiler "source"), which type-checks
+//     GOROOT packages from source — no export data, no network, no
+//     toolchain invocation, so it works in the offline build
+//     environment this module targets.
+//
+// Only non-test files are loaded: the determinism, hook, and hot-path
+// contracts the analyzers enforce bind production code, while tests
+// routinely (and legitimately) probe nondeterminism — wall-clock
+// timeouts, shuffled inputs, fmt-heavy goldens.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"drstrange/internal/lint/analysis"
+)
+
+// Config describes one tree to load.
+type Config struct {
+	// Root is the directory tree to load. If it contains a go.mod, the
+	// module path declared there prefixes every package's import path;
+	// otherwise packages are addressed by their root-relative slash
+	// path (the GOPATH-style layout analysistest trees use).
+	Root string
+
+	// ModulePath overrides the import-path prefix (normally derived
+	// from go.mod). Leave empty to derive.
+	ModulePath string
+}
+
+// Load discovers every package under the root, parses its non-test
+// files, and type-checks them in dependency order.
+func (c Config) Load() (*analysis.Program, error) {
+	root, err := filepath.Abs(c.Root)
+	if err != nil {
+		return nil, err
+	}
+	modPath := c.ModulePath
+	if modPath == "" {
+		modPath, err = modulePath(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	ld := &loader{
+		root:    root,
+		modPath: modPath,
+		fset:    token.NewFileSet(),
+		dirFor:  map[string]string{},
+		loaded:  map[string]*analysis.Package{},
+		loading: map[string]bool{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	paths := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		p := ld.importPath(dir)
+		ld.dirFor[p] = dir
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	prog := &analysis.Program{Fset: ld.fset, ByPath: map[string]*analysis.Package{}}
+	ld.prog = prog
+	for _, p := range paths {
+		if _, err := ld.load(p); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if os.IsNotExist(err) {
+		return "", nil // GOPATH-style tree: root-relative import paths
+	}
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("loader: %s/go.mod has no module declaration", root)
+}
+
+// packageDirs walks the tree collecting every directory that holds at
+// least one non-test Go file, skipping testdata, vendor, hidden, and
+// underscore-prefixed directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// goFiles lists the buildable non-test Go files of one directory, in
+// sorted order, honoring build constraints via go/build's matcher.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") ||
+			strings.HasPrefix(name, "_") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %s/%s: %v", dir, name, err)
+		}
+		if match {
+			files = append(files, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+type loader struct {
+	root    string
+	modPath string
+	fset    *token.FileSet
+	std     types.Importer
+	prog    *analysis.Program
+
+	dirFor  map[string]string            // import path -> directory
+	loaded  map[string]*analysis.Package // memoized results
+	loading map[string]bool              // cycle detection
+}
+
+// importPath maps a directory under the root to its import path.
+func (ld *loader) importPath(dir string) string {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || rel == "." {
+		return ld.modPath
+	}
+	rel = filepath.ToSlash(rel)
+	if ld.modPath == "" {
+		return rel
+	}
+	return ld.modPath + "/" + rel
+}
+
+// internal reports whether an import path belongs to the loaded tree.
+func (ld *loader) internal(path string) bool {
+	_, ok := ld.dirFor[path]
+	return ok
+}
+
+// Import implements types.Importer over both resolution domains, so
+// the type-checker can hand every import back to the loader.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if ld.internal(path) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one internal package (memoized).
+func (ld *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.loaded[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := ld.dirFor[path]
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := types.Config{Importer: ld}
+	tpkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", path, err)
+	}
+
+	pkg := &analysis.Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	ld.loaded[path] = pkg
+	ld.prog.Packages = append(ld.prog.Packages, pkg)
+	ld.prog.ByPath[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"drstrange/internal/lint/analysis"
+)
+
+// Noalloc checks functions annotated //drstrange:noalloc — the serve,
+// engine, and health hot paths whose zero-allocation behavior the
+// benchmarks (BenchmarkServeLoadSaturated's allocs/op gate,
+// TestHotLoopZeroAllocs) depend on — for constructs that force the
+// compiler to allocate.
+var Noalloc = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: `check //drstrange:noalloc functions for allocation-forcing constructs
+
+A function whose doc comment carries //drstrange:noalloc is checked
+for:
+
+  - function literals that capture variables (a capturing closure
+    allocates its environment; a capture-free literal compiles to a
+    static function and is fine)
+  - implicit conversions of concrete values to interface types at call
+    sites, and explicit conversions to interface types (boxing
+    allocates unless the escape analysis gets lucky)
+  - any call into package fmt (formatting allocates)
+  - append or make inside a loop (per-iteration growth or construction)
+
+The check is intentionally per-function, not transitive: annotate each
+function on the per-tick path. A justified construct — an amortized
+freelist append, say — is waived with "//drstrange:alloc-ok <reason>"
+on the flagged line or the line above; the reason is mandatory.`,
+	Run: runNoalloc,
+}
+
+func runNoalloc(pass *analysis.Pass) (any, error) {
+	fset := pass.Pkg.Fset
+	for _, f := range pass.Pkg.Files {
+		dirs := parseDirectives(fset, f)
+		checkDirectiveReasons(pass, dirs, dirAllocOK)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, dirNoalloc) {
+				continue
+			}
+			report := func(pos token.Pos, format string, args ...any) {
+				if dirs.suppressedBy(fset, pos, dirAllocOK) {
+					return
+				}
+				pass.Reportf(pos, format, args...)
+			}
+			checkNoallocFunc(pass.Pkg, fd, report)
+		}
+	}
+	return nil, nil
+}
+
+// checkNoallocFunc scans one annotated function body.
+func checkNoallocFunc(pkg *analysis.Package, fd *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	info := pkg.Info
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				walkLoop(n.Body, walk, loopDepth, n.Init, n.Cond, n.Post)
+				return false
+			case *ast.RangeStmt:
+				walkLoop(n.Body, walk, loopDepth, n.Key, n.Value, n.X)
+				return false
+			case *ast.FuncLit:
+				if captured := capturedVar(info, fd, n); captured != nil {
+					report(n.Pos(), "noalloc %s: closure captures %q; a capturing closure allocates its environment", fd.Name.Name, captured.Name())
+				}
+				return true // still scan the literal's body for the other constructs
+			case *ast.CallExpr:
+				checkNoallocCall(info, fd, n, loopDepth, report)
+			}
+			return true
+		})
+	}
+	walk(fd.Body, 0)
+}
+
+// walkLoop recurses into a loop's body at increased depth (and into
+// the loop's header expressions at the same depth).
+func walkLoop(body *ast.BlockStmt, walk func(ast.Node, int), depth int, header ...ast.Node) {
+	for _, h := range header {
+		if h != nil {
+			walk(h, depth)
+		}
+	}
+	walk(body, depth+1)
+}
+
+// capturedVar returns a variable the literal captures from the
+// enclosing function (including its parameters and receiver), or nil
+// for a capture-free literal. Package-level state is not a capture.
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if declaredWithin(v, fd.Pos(), fd.End()) && !declaredWithin(v, lit.Pos(), lit.End()) {
+			captured = v
+		}
+		return true
+	})
+	return captured
+}
+
+// checkNoallocCall classifies one call inside an annotated function:
+// fmt, builtin append/make in loops, explicit interface conversions,
+// and implicit concrete-to-interface argument conversions.
+func checkNoallocCall(info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr, loopDepth int, report func(token.Pos, string, ...any)) {
+	// Builtins and conversions first: their "callee" is not a func.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if loopDepth > 0 && (b.Name() == "append" || b.Name() == "make") {
+				report(call.Pos(), "noalloc %s: %s inside a loop allocates per iteration; hoist or pre-size it outside the loop", fd.Name.Name, b.Name())
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if argTV, ok := info.Types[call.Args[0]]; ok && !types.IsInterface(argTV.Type) && !isUntypedNil(argTV) {
+				report(call.Pos(), "noalloc %s: conversion of %s to interface %s boxes the value", fd.Name.Name, argTV.Type, tv.Type)
+			}
+		}
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "noalloc %s: fmt.%s formats through interfaces and allocates", fd.Name.Name, fn.Name())
+		return
+	}
+	// Implicit concrete-to-interface conversions at the call boundary.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			slice, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			param = slice.Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		argTV, ok := info.Types[arg]
+		if !ok || types.IsInterface(argTV.Type) || isUntypedNil(argTV) {
+			continue
+		}
+		report(arg.Pos(), "noalloc %s: passing %s as interface %s boxes the value", fd.Name.Name, argTV.Type, param)
+	}
+}
+
+// isUntypedNil reports whether an expression is the untyped nil.
+func isUntypedNil(tv types.TypeAndValue) bool {
+	basic, ok := tv.Type.(*types.Basic)
+	return ok && basic.Kind() == types.UntypedNil
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drstrange/internal/lint"
+	"drstrange/internal/lint/analysistest"
+)
+
+// TestNoalloc pins the noalloc checks on annotated functions:
+// capturing closures, fmt calls, append/make in loops, explicit and
+// implicit interface boxing (including variadic spread), with the
+// allocation-free shapes and the //drstrange:alloc-ok waiver staying
+// silent.
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.Noalloc, "noallocpkg")
+}

@@ -1,0 +1,37 @@
+// Package envpkg exercises envknob outside the exempt
+// internal/sim/env.go: every lookup shape the rule classifies.
+package envpkg
+
+import "os"
+
+const shardKnob = "DRSTRANGE_SHARDS"
+
+// Direct reads a DRSTRANGE_ knob directly.
+func Direct() string {
+	return os.Getenv("DRSTRANGE_ENGINE") // want `os\.Getenv\("DRSTRANGE_ENGINE"\) bypasses the central warn-once parsing`
+}
+
+// Lookup reads through LookupEnv.
+func Lookup() (string, bool) {
+	return os.LookupEnv("DRSTRANGE_QUEUE") // want `os\.LookupEnv\("DRSTRANGE_QUEUE"\) bypasses the central warn-once parsing`
+}
+
+// Named reads through a named constant: still statically DRSTRANGE_.
+func Named() string {
+	return os.Getenv(shardKnob) // want `os\.Getenv\("DRSTRANGE_SHARDS"\) bypasses the central warn-once parsing`
+}
+
+// Dynamic cannot be checked statically.
+func Dynamic(name string) string {
+	return os.Getenv(name) // want `os\.Getenv with a non-constant name cannot be checked against the DRSTRANGE_ namespace`
+}
+
+// Scan walks the whole environment.
+func Scan() []string {
+	return os.Environ() // want `os\.Environ scans belong in internal/sim/env\.go`
+}
+
+// Outside reads a name outside the namespace: legal anywhere.
+func Outside() string {
+	return os.Getenv("HOME")
+}

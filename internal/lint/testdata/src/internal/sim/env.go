@@ -1,0 +1,20 @@
+package sim
+
+import "os"
+
+// Knob reads from the DRSTRANGE_ namespace. This file is env.go of a
+// package whose path ends in internal/sim — the one file envknob
+// exempts — so none of these lookups may be reported.
+func Knob() string {
+	return os.Getenv("DRSTRANGE_TEST_KNOB")
+}
+
+// KnobSet mirrors the central parser's LookupEnv use.
+func KnobSet() (string, bool) {
+	return os.LookupEnv("DRSTRANGE_TEST_KNOB")
+}
+
+// Scan mirrors WarnUnknownEnvKnobs' whole-environment walk.
+func Scan() []string {
+	return os.Environ()
+}

@@ -1,0 +1,23 @@
+// Package sim is a miniature stand-in for the real internal/sim: just
+// enough surface (System with the stepping, injection, and hook
+// methods) for the hookcheck golden packages to compile against. Its
+// root-relative import path "internal/sim" matches the analyzers'
+// guarded-path suffix rules exactly like the real module path does.
+package sim
+
+// System mirrors the real System's hook-relevant method set.
+type System struct {
+	now int64
+}
+
+// Step advances the simulated clock by one tick.
+func (s *System) Step() { s.now++ }
+
+// StepTo advances the simulated clock to tick t.
+func (s *System) StepTo(t int64) { s.now = t }
+
+// InjectRNG submits one externally generated RNG request.
+func (s *System) InjectRNG(client, words int) {}
+
+// OnInjectionComplete registers the injection completion hook.
+func (s *System) OnInjectionComplete(fn func(int)) {}

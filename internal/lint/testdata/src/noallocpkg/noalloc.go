@@ -1,0 +1,121 @@
+// Package noallocpkg exercises noalloc: each allocation-forcing
+// construct inside //drstrange:noalloc functions, next to the shapes
+// that stay allocation-free.
+package noallocpkg
+
+import "fmt"
+
+var sink func() int
+
+// Capture stores a closure that captures its parameter.
+//
+//drstrange:noalloc
+func Capture(n int) {
+	sink = func() int { return n } // want `closure captures "n"`
+}
+
+// Static stores a capture-free literal: it compiles to a static
+// function and allocates nothing.
+//
+//drstrange:noalloc
+func Static() {
+	sink = func() int { return 42 }
+}
+
+// Format calls into fmt.
+//
+//drstrange:noalloc
+func Format(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt\.Sprintf formats through interfaces`
+}
+
+// Grow appends inside a loop.
+//
+//drstrange:noalloc
+func Grow(dst, src []int) []int {
+	for _, v := range src {
+		dst = append(dst, v) // want `append inside a loop allocates per iteration`
+	}
+	return dst
+}
+
+// Build makes and appends inside a loop: both are reported.
+//
+//drstrange:noalloc
+func Build(n int) [][]int {
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, make([]int, i)) // want `append inside a loop` `make inside a loop`
+	}
+	return out
+}
+
+// Hoisted pre-sizes outside the loop.
+//
+//drstrange:noalloc
+func Hoisted(src []int) []int {
+	dst := make([]int, len(src))
+	for i, v := range src {
+		dst[i] = v
+	}
+	return dst
+}
+
+// Box converts explicitly to an interface type.
+//
+//drstrange:noalloc
+func Box(x int) any {
+	return any(x) // want `conversion of int to interface .* boxes the value`
+}
+
+// Pass converts implicitly at a call boundary.
+//
+//drstrange:noalloc
+func Pass(x int) {
+	take(x) // want `passing int as interface .* boxes the value`
+}
+
+func take(v any) {}
+
+// Spread boxes each variadic argument.
+//
+//drstrange:noalloc
+func Spread(x, y int) {
+	takeAll(x, y) // want `passing int as interface .* boxes the value` `passing int as interface .* boxes the value`
+}
+
+func takeAll(vs ...any) {}
+
+// Passthrough forwards an existing slice: s... passes the slice
+// through without boxing.
+//
+//drstrange:noalloc
+func Passthrough(vs []any) {
+	takeAll(vs...)
+}
+
+// NilArg passes untyped nil: no value to box.
+//
+//drstrange:noalloc
+func NilArg() {
+	take(nil)
+}
+
+// Amortized waives a justified freelist append with a reason.
+//
+//drstrange:noalloc
+func Amortized(buf []int, v int) []int {
+	for i := 0; i < 4; i++ {
+		//drstrange:alloc-ok amortized: the backing array is reused across calls
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// plain is not annotated, but a reason-less alloc-ok is reported
+// wherever it appears.
+func plain() {
+	//drstrange:alloc-ok
+	// want-1 `//drstrange:alloc-ok requires a reason`
+	_ = 0
+}

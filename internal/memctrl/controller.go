@@ -155,6 +155,8 @@ func NewController(cfg Config) (*Controller, error) {
 // newRequest returns a zeroed Request, recycling a retired one when
 // available: the steady-state tick loop allocates nothing per memory
 // operation.
+//
+//drstrange:noalloc
 func (c *Controller) newRequest() *Request {
 	if n := len(c.free); n > 0 {
 		r := c.free[n-1]
@@ -171,6 +173,8 @@ func (c *Controller) newRequest() *Request {
 // exactly once, when the request retires from its instruction window
 // (the last reference the system holds); the controller itself recycles
 // posted writes when they leave the write queue.
+//
+//drstrange:noalloc
 func (c *Controller) Recycle(r *Request) {
 	if r != nil {
 		c.free = append(c.free, r)
@@ -310,6 +314,8 @@ func (c *Controller) SubmitRNG(core int, now int64) (*Request, bool) {
 }
 
 // Tick advances the controller by one memory cycle.
+//
+//drstrange:noalloc
 func (c *Controller) Tick(now int64) {
 	c.popCompletions(now)
 	c.cfg.Scheduler.Tick(now)
@@ -322,6 +328,8 @@ func (c *Controller) Tick(now int64) {
 }
 
 // popCompletions marks requests whose data has arrived as done.
+//
+//drstrange:noalloc
 func (c *Controller) popCompletions(now int64) {
 	for i := range c.chans {
 		cs := &c.chans[i]
@@ -379,6 +387,8 @@ func compactFIFO(q []*Request, head int) ([]*Request, int) {
 //     the RNG queue and the regular read queues, and only as many
 //     channels as the outstanding bit demand needs are switched,
 //     preferring the least-loaded channels.
+//
+//drstrange:noalloc
 func (c *Controller) planDemand(now int64) []bool {
 	enter := c.enterScratch
 	for i := range enter {
@@ -474,6 +484,7 @@ func (c *Controller) planDemand(now int64) []bool {
 		if eligible {
 			nc := chanCand{i, len(cs.readQ)}
 			j := len(cands)
+			//drstrange:alloc-ok amortized: candScratch's backing array is reused across calls
 			cands = append(cands, nc)
 			for j > 0 && cands[j-1].qlen > nc.qlen {
 				cands[j] = cands[j-1]
@@ -528,6 +539,8 @@ func (c *Controller) anyReadQueued() bool {
 }
 
 // tickChannel advances one channel by one cycle.
+//
+//drstrange:noalloc
 func (c *Controller) tickChannel(chIdx int, now int64, enterDemand bool) {
 	cs := &c.chans[chIdx]
 	ch := c.chs[chIdx]
@@ -562,6 +575,8 @@ func (c *Controller) tickChannel(chIdx int, now int64, enterDemand bool) {
 }
 
 // advanceRNGMode steps the enter/round/exit state machine.
+//
+//drstrange:noalloc
 func (c *Controller) advanceRNGMode(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
 	if now < cs.modeUntil {
@@ -591,6 +606,8 @@ func (c *Controller) advanceRNGMode(chIdx int, now int64) {
 
 // shouldContinue decides, at a round boundary, whether the channel
 // stays in RNG mode for another round.
+//
+//drstrange:noalloc
 func (c *Controller) shouldContinue(chIdx int, now int64) bool {
 	cs := &c.chans[chIdx]
 	switch cs.ctx {
@@ -654,6 +671,8 @@ func (c *Controller) fillOccupancyLimit() int {
 }
 
 // startRound begins one TRNG generation round on the channel.
+//
+//drstrange:noalloc
 func (c *Controller) startRound(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
 	cs.mode = modeRound
@@ -662,6 +681,8 @@ func (c *Controller) startRound(chIdx int, now int64) {
 }
 
 // beginEnter switches a channel toward RNG mode.
+//
+//drstrange:noalloc
 func (c *Controller) beginEnter(chIdx int, ctx rngContext, now int64, oneShot bool) {
 	cs := &c.chans[chIdx]
 	cs.mode = modeEnter
@@ -686,6 +707,8 @@ func (c *Controller) beginEnter(chIdx int, ctx rngContext, now int64, oneShot bo
 }
 
 // beginExit switches a channel back toward regular mode.
+//
+//drstrange:noalloc
 func (c *Controller) beginExit(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
 	cs.mode = modeExit
@@ -696,6 +719,8 @@ func (c *Controller) beginExit(chIdx int, now int64) {
 // creditBits distributes freshly generated bits: demand first, then the
 // buffer; under the oblivious baseline surplus bits are discarded
 // (there is no buffer to hold them).
+//
+//drstrange:noalloc
 func (c *Controller) creditBits(chIdx int, bits float64, now int64) {
 	cs := &c.chans[chIdx]
 	if cs.ctx == ctxDemand {
@@ -738,6 +763,8 @@ func (c *Controller) creditBits(chIdx int, bits float64, now int64) {
 
 // serviceRefresh walks the channel toward an all-bank refresh: close
 // open banks, then issue REF.
+//
+//drstrange:noalloc
 func (c *Controller) serviceRefresh(chIdx int, now int64) {
 	ch := c.chs[chIdx]
 	if ch.CanREF(now) {
@@ -753,6 +780,8 @@ func (c *Controller) serviceRefresh(chIdx int, now int64) {
 }
 
 // serveRegular performs regular-mode request service for one channel.
+//
+//drstrange:noalloc
 func (c *Controller) serveRegular(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
 	ch := c.chs[chIdx]
@@ -826,6 +855,8 @@ func pickWrite(q []*Request, ch *dram.Channel, now int64) int {
 // ACT on a closed bank, or the column command itself. Column commands
 // complete the request (reads: data arrival; writes: posted at data
 // end).
+//
+//drstrange:noalloc
 func (c *Controller) issueFor(chIdx int, req *Request, now int64) {
 	cs := &c.chans[chIdx]
 	ch := c.chs[chIdx]
@@ -863,6 +894,8 @@ func (c *Controller) issueFor(chIdx int, req *Request, now int64) {
 
 // idleBookkeeping maintains idle-period state (for the predictor and
 // the Figure 5/18 profiles) and fires buffer fills.
+//
+//drstrange:noalloc
 func (c *Controller) idleBookkeeping(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
 	if cs.mode != modeRegular {
@@ -905,6 +938,8 @@ func (c *Controller) idleBookkeeping(chIdx int, now int64) {
 // prediction enabled), the predictor must call the upcoming period
 // long, the buffer must have room, and a cooldown must have elapsed
 // since the last RNG-mode excursion so fills cannot thrash the channel.
+//
+//drstrange:noalloc
 func (c *Controller) fillTriggerReady(chIdx int, now int64, queuesEmpty bool) bool {
 	cs := &c.chans[chIdx]
 	if c.entropySuspect || c.cfg.Buffer == nil || c.cfg.Buffer.Full() || len(c.rngQ) > 0 {
@@ -933,6 +968,8 @@ func (c *Controller) fillTriggerReady(chIdx int, now int64, queuesEmpty bool) bo
 // endIdlePeriod closes channel chIdx's idle period (a request arrived
 // or RNG demand claimed the channel), trains the predictor, and updates
 // the confusion matrix.
+//
+//drstrange:noalloc
 func (c *Controller) endIdlePeriod(chIdx int, now int64) {
 	cs := &c.chans[chIdx]
 	if !cs.periodActive {

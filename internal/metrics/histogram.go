@@ -27,6 +27,8 @@ type Histogram struct {
 }
 
 // Add records one observation.
+//
+//drstrange:noalloc
 func (h *Histogram) Add(v int64) {
 	if h.counts == nil {
 		h.counts = make(map[int64]int64)

@@ -264,9 +264,25 @@ func WarnUnknownEnvKnobs() {
 // sortedEnvKnobs lists the known knob names, sorted.
 func sortedEnvKnobs() []string {
 	out := make([]string, 0, len(knownEnvKnobs))
-	for k := range knownEnvKnobs {
+	for k := range knownEnvKnobs { //drstrange:nondet-ok collect-then-sort: the slice is sorted before it is returned
 		out = append(out, k)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// EnvKnobSnapshot returns the DRSTRANGE_* knobs currently set in the
+// environment, keyed by knob name. Tooling that records knob
+// provenance (cmd/benchjson's snapshot header, say) reads the namespace
+// through this accessor instead of its own os.Getenv loop, so the
+// envknob analyzer can keep every raw environment read pinned to this
+// file.
+func EnvKnobSnapshot() map[string]string {
+	out := map[string]string{}
+	for _, k := range sortedEnvKnobs() {
+		if v := os.Getenv(k); v != "" {
+			out[k] = v
+		}
+	}
 	return out
 }

@@ -95,6 +95,7 @@ func (h *boundHeap) less(a, b heapEntry) bool {
 	return a.shard < b.shard
 }
 
+//drstrange:noalloc
 func (h *boundHeap) push(e heapEntry) {
 	h.entries = append(h.entries, e)
 	i := len(h.entries) - 1
@@ -108,6 +109,7 @@ func (h *boundHeap) push(e heapEntry) {
 	}
 }
 
+//drstrange:noalloc
 func (h *boundHeap) peek() (heapEntry, bool) {
 	if len(h.entries) == 0 {
 		return heapEntry{}, false
@@ -115,6 +117,7 @@ func (h *boundHeap) peek() (heapEntry, bool) {
 	return h.entries[0], true
 }
 
+//drstrange:noalloc
 func (h *boundHeap) pop() {
 	n := len(h.entries) - 1
 	h.entries[0] = h.entries[n]

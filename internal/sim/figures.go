@@ -772,7 +772,7 @@ var Experiments = map[string]func(ctx context.Context, instr int64) []Figure{
 // ExperimentIDs returns the registry keys in stable order.
 func ExperimentIDs() []string {
 	ids := make([]string, 0, len(Experiments))
-	for id := range Experiments {
+	for id := range Experiments { //drstrange:nondet-ok collect-then-sort: the slice is sorted before it is returned
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)

@@ -73,6 +73,8 @@ func healthyShard(sh *channelShard) bool {
 // advances — the word sequence stays a pure function of the round
 // history, not of trip timing — but observation is suspended until the
 // monitor restarts at re-qualification.
+//
+//drstrange:noalloc
 func (s *System) observeRound(sh *channelShard, now int64) {
 	h := sh.health
 	for n := h.stream.Credit(h.roundBits); n > 0; n-- {
@@ -89,6 +91,8 @@ func (s *System) observeRound(sh *channelShard, now int64) {
 // tripShard quarantines the shard: purge and stop serving buffered
 // entropy, schedule re-qualification, and make the trip visible to the
 // router through tripsLive.
+//
+//drstrange:noalloc
 func (s *System) tripShard(sh *channelShard, now int64) {
 	h := sh.health
 	h.tripped = true
@@ -105,6 +109,8 @@ func (s *System) tripShard(sh *channelShard, now int64) {
 // recoverShard ends the quarantine at tick now: account the downtime,
 // re-enable buffer serving and filling, and restart the monitor from a
 // clean slate.
+//
+//drstrange:noalloc
 func (s *System) recoverShard(sh *channelShard, now int64) {
 	h := sh.health
 	h.downtime += overlapTicks(h.tripTick, now, s.availFrom, s.availUntil)
@@ -121,6 +127,8 @@ func (s *System) recoverShard(sh *channelShard, now int64) {
 // event bound is clamped to suspectUntil (componentBound) and a
 // non-empty waiting queue forces per-tick stepping, so neither can be
 // overshot by the event engines.
+//
+//drstrange:noalloc
 func (s *System) healthTick(sh *channelShard, t int64) {
 	h := sh.health
 	if !h.tripped {
@@ -141,6 +149,8 @@ func (s *System) healthTick(sh *channelShard, t int64) {
 // first unexpired (or partially submitted) head. Failing mirrors
 // completion: the request finishes now with Failed set, flows through
 // the completion hook, and its handle is recycled.
+//
+//drstrange:noalloc
 func (s *System) failExpired(sh *channelShard, t int64) {
 	h := sh.health
 	for sh.waitHead < len(sh.waiting) {
@@ -158,6 +168,7 @@ func (s *System) failExpired(sh *channelShard, t int64) {
 		s.injLive--
 		if s.onInjDone != nil {
 			s.onInjDone(ir)
+			//drstrange:alloc-ok amortized: the request freelist's backing array is reused
 			s.irFree = append(s.irFree, ir)
 		}
 	}

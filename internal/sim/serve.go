@@ -234,6 +234,7 @@ func ServeLoad(cfg ServeConfig, offeredMbps []float64) []ServePoint {
 		// The background context never cancels, so this is a real
 		// configuration error (bad arrival name) — fail as loudly as the
 		// pre-error-path code did.
+		//drstrange:alloc-ok cold path: Sprintf only feeds the unreachable-config panic
 		panic(fmt.Sprintf("sim: %v", err))
 	}
 	return out
@@ -294,6 +295,8 @@ const serveSlice = 1 << 13
 // the testdata/serve_golden.txt pin): the arrival draw stream, the
 // injection schedule, and the nearest-rank percentiles are all exactly
 // what the reference produced.
+//
+//drstrange:noalloc
 func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	if mbps <= 0 {
 		panic("sim: offered load must be positive")
@@ -309,6 +312,7 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	seed := cfg.Seed ^ math.Float64bits(mbps)
 	arr, err := workload.NewArrivals(cfg.Arrival, ratePerTick, cfg.Burstiness, seed)
 	if err != nil {
+		//drstrange:alloc-ok cold path: Sprintf only feeds the unreachable-config panic
 		panic(fmt.Sprintf("sim: %v", err)) // unreachable: ServeLoadCtx vetted the name
 	}
 
@@ -335,6 +339,7 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		doneWords         int64
 		completedInWindow int64
 	)
+	//drstrange:alloc-ok one closure per serve point, not per tick; the hot loop only invokes it
 	onDone := func(r *InjectedRequest) {
 		if r.Failed {
 			// Deadline-failed at a tripped shard: counted by the
@@ -391,6 +396,7 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		if target > end-1 {
 			target = end - 1
 		}
+		//drstrange:alloc-ok per-slice, not per-tick, and non-escaping; pinned by the serve allocs/op gate
 		chunk.TakeThrough(target, end, func(tick int64) {
 			if tick >= cfg.WarmupTicks {
 				p.Submitted++
@@ -503,6 +509,7 @@ func ServeCurves(designs []Design, cfg ServeConfig, offeredMbps []float64) []Fig
 	if err != nil {
 		// Uncancellable context: the error is a real configuration
 		// problem, not an abort.
+		//drstrange:alloc-ok cold path: Sprintf only feeds the unreachable-config panic
 		panic(fmt.Sprintf("sim: %v", err))
 	}
 	return figs

@@ -324,6 +324,8 @@ func (s *System) stepTicked(cycle int64) {
 // stepSingle is the single-shard event loop — the engine exactly as it
 // ran before sharding, kept as its own path so every single-channel
 // golden stays byte-identical by construction.
+//
+//drstrange:noalloc
 func (s *System) stepSingle(cycle int64) {
 	sh := s.shards[0]
 	for s.now <= cycle {
@@ -348,6 +350,8 @@ func (s *System) stepSingle(cycle int64) {
 // singleNextEvent lower-bounds the next tick at which any component of
 // the single shard — controller, core, or the injection port — can
 // change state (the historical nextEventTick).
+//
+//drstrange:noalloc
 func (s *System) singleNextEvent(sh *channelShard, now int64) int64 {
 	if sh.waitHead < len(sh.waiting) {
 		// A submission blocked on RNG-queue backpressure retries every
@@ -373,6 +377,8 @@ func (s *System) singleNextEvent(sh *channelShard, now int64) int64 {
 // fully stalled core can only be freed by a request completing or a
 // queue slot opening, both of which bump that counter, so until it
 // moves the cores are provably still stalled and the scan is skipped.
+//
+//drstrange:noalloc
 func (sh *channelShard) componentBound(now int64) int64 {
 	next := farFuture
 	if len(sh.cores) > 0 {
@@ -416,6 +422,8 @@ func (sh *channelShard) componentBound(now int64) int64 {
 // EventQueue()), clamped by the next scheduled arrival and the StepTo
 // boundary. At every boundary the remaining accounting is flushed so
 // Result() and the slicing invariant see fully accounted ticks.
+//
+//drstrange:noalloc
 func (s *System) stepSharded(cycle int64) {
 	for s.now <= cycle {
 		t := s.now
@@ -442,6 +450,8 @@ func (s *System) stepSharded(cycle int64) {
 // and reports whether the run completed at t. Quiescent shards
 // contribute their cached finished-core counts to done detection — a
 // core can only finish at a tick its shard executes.
+//
+//drstrange:noalloc
 func (s *System) execDue(t int64) bool {
 	if s.schedHead < len(s.sched) && s.sched[s.schedHead].SubmitTick <= t {
 		s.routeArrivals(t)
@@ -489,6 +499,8 @@ func (s *System) execDue(t int64) bool {
 // quiescent window is split-range exact — the blocked/idle predicates
 // it consults cannot flip mid-window — so lazy crediting equals the
 // eager per-event crediting of the single-shard loop.
+//
+//drstrange:noalloc
 func (s *System) catchUp(sh *channelShard, t int64) {
 	if n := t - sh.accounted; n > 0 {
 		sh.ctrl.AccountSkip(sh.accounted-1, n)
@@ -501,6 +513,8 @@ func (s *System) catchUp(sh *channelShard, t int64) {
 // flushAccounting credits every shard through tick cycle: StepTo
 // boundaries and run completion must leave all ticks <= cycle fully
 // accounted, exactly like the eager loops.
+//
+//drstrange:noalloc
 func (s *System) flushAccounting(cycle int64) {
 	for _, sh := range s.shards {
 		if n := cycle + 1 - sh.accounted; n > 0 {
@@ -515,6 +529,8 @@ func (s *System) flushAccounting(cycle int64) {
 
 // markDirty queues the shard for a bound recomputation at the next
 // event lookup.
+//
+//drstrange:noalloc
 func (s *System) markDirty(sh *channelShard) {
 	if !sh.queuedDirty {
 		sh.queuedDirty = true
@@ -526,6 +542,8 @@ func (s *System) markDirty(sh *channelShard) {
 // nextShardEvent refreshes the dirty shards' bounds and returns the
 // minimum next-event tick across shards, through the indexed heap or
 // the reference linear scan.
+//
+//drstrange:noalloc
 func (s *System) nextShardEvent(now int64) int64 {
 	useHeap := s.queue == EventQueueHeap
 	for _, idx := range s.dirty {
@@ -546,6 +564,7 @@ func (s *System) nextShardEvent(now int64) int64 {
 
 	if useHeap {
 		if s.heap.len() > 2*len(s.shards)+16 {
+			//drstrange:alloc-ok non-escaping callback on the rare compaction branch; pinned by TestHotLoopZeroAllocs
 			s.heap.compact(func(e heapEntry) bool {
 				return s.shards[e.shard].gen == e.gen
 			})
@@ -576,6 +595,8 @@ func (s *System) nextShardEvent(now int64) int64 {
 // injected-request completion collection — and reports whether the run
 // completed at t. The ticked engine and the single-shard event loop
 // share this path.
+//
+//drstrange:noalloc
 func (s *System) execTick(t int64) bool {
 	if s.schedHead < len(s.sched) {
 		s.routeArrivals(t)
@@ -611,6 +632,8 @@ func (s *System) execTick(t int64) bool {
 // shard through the router. Routing happens here — at the exact arrival
 // tick, with the shards' live state — not at InjectRNG time, so queue-
 // and buffer-aware policies see what a real front end would.
+//
+//drstrange:noalloc
 func (s *System) routeArrivals(t int64) {
 	for s.schedHead < len(s.sched) && s.sched[s.schedHead].SubmitTick <= t {
 		ir := s.sched[s.schedHead]
@@ -640,6 +663,7 @@ func (s *System) routeArrivals(t int64) {
 		if sh.live > sh.peakLive {
 			sh.peakLive = sh.live
 		}
+		//drstrange:alloc-ok amortized: the waiting FIFO's backing array is reused after drain
 		sh.waiting = append(sh.waiting, ir)
 	}
 	if s.schedHead == len(s.sched) {
@@ -727,6 +751,8 @@ func (s *System) InjectRNG(client int, at int64, words int) *InjectedRequest {
 // admitShard submits as many of the shard's queued words as its
 // controller accepts, in arrival order (head-of-line blocking on
 // RNG-queue backpressure, like a real request front end).
+//
+//drstrange:noalloc
 func (s *System) admitShard(sh *channelShard, t int64) {
 	for sh.waitHead < len(sh.waiting) {
 		ir := sh.waiting[sh.waitHead]
@@ -750,6 +776,7 @@ func (s *System) admitShard(sh *channelShard, t int64) {
 			if req.FromBuffer {
 				ir.BufferWords++
 			}
+			//drstrange:alloc-ok amortized: the outstanding-word slice's backing array is reused
 			sh.outstanding = append(sh.outstanding, injWord{req: req, ir: ir})
 		}
 		ir.AcceptTick = t
@@ -764,10 +791,13 @@ func (s *System) admitShard(sh *channelShard, t int64) {
 // word's controller request is recycled here — the injection port holds
 // the system's last reference, exactly as a core's instruction window
 // does.
+//
+//drstrange:noalloc
 func (s *System) collectShard(sh *channelShard) {
 	live := sh.outstanding[:0]
 	for _, w := range sh.outstanding {
 		if !w.req.Done {
+			//drstrange:alloc-ok in-place compaction into the slice's own backing array
 			live = append(live, w)
 			continue
 		}
@@ -785,6 +815,7 @@ func (s *System) collectShard(sh *channelShard) {
 			sh.bufWords += int64(ir.BufferWords)
 			if s.onInjDone != nil {
 				s.onInjDone(ir)
+				//drstrange:alloc-ok amortized: the request freelist's backing array is reused
 				s.irFree = append(s.irFree, ir)
 			}
 		}

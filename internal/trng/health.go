@@ -218,6 +218,8 @@ func monoTripTable(window int, zCut float64) []bool {
 // bytes are not examined; callers quarantine the source and Reset the
 // monitor at re-qualification, so partial observation never leaks into
 // a healthy stream.
+//
+//drstrange:noalloc
 func (m *HealthMonitor) ObserveWord(w uint64) HealthVerdict {
 	pc := uint8(bits.OnesCount64(w))
 	if m.ringFull {
@@ -282,6 +284,8 @@ func (m *HealthMonitor) ObserveWord(w uint64) HealthVerdict {
 // hasZeroByte reports whether any byte of v is zero (the standard
 // subtract-and-mask probe): the fast-path detector for "some byte of w
 // equals b" after xoring w with b broadcast to every lane.
+//
+//drstrange:noalloc
 func hasZeroByte(v uint64) bool {
 	return (v-0x0101010101010101) & ^v & 0x8080808080808080 != 0
 }
@@ -398,6 +402,8 @@ func NewEntropyStream(seed uint64, fault FaultProfile) EntropyStream {
 
 // Credit accumulates bits fractional generated bits and returns how
 // many whole 64-bit words are now available to Emit.
+//
+//drstrange:noalloc
 func (s *EntropyStream) Credit(bits float64) int {
 	s.carry += bits
 	n := 0
@@ -410,6 +416,8 @@ func (s *EntropyStream) Credit(bits float64) int {
 
 // Emit draws the next word of the stream as of tick, applying the
 // fault transform scheduled for that tick.
+//
+//drstrange:noalloc
 func (s *EntropyStream) Emit(tick int64) uint64 {
 	w := s.next()
 	s.WordsEmitted++
