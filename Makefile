@@ -97,13 +97,15 @@ bench-compare:
 # committed baseline, write the machine-readable delta artifact, and
 # fail only when a gated headline — the saturated serve point's memory,
 # a serving sweep's p99 latency, the degraded sweep's downtime, the
-# warm-start sweep's walltime ratio, or the clean-path health-
-# monitoring overhead (the sweep_walltime / health_overhead
-# pseudo-rows) — regresses by more than 25%.
+# warm-start sweep's walltime ratio, the clean-path health-monitoring
+# overhead, the closed-loop overload sweep's keygen p99, or the
+# class/admission machinery's open-loop overhead (the sweep_walltime /
+# health_overhead / shed_overhead pseudo-rows) — regresses by more
+# than 25%.
 # Everything else in the diff is informational (micro-benchmark noise
 # on shared runners must not block merges).
 DELTA ?= BENCH_delta.json
-BENCH_GATES = ServeLoadSaturated:B/op,ServeLoadSaturated:allocs/op,ServeLoadSaturated:headline,ServeLoad:headline,ServeLoadSharded:headline,ServeLoadDegraded:headline,sweep_walltime:ratio,health_overhead:ratio
+BENCH_GATES = ServeLoadSaturated:B/op,ServeLoadSaturated:allocs/op,ServeLoadSaturated:headline,ServeLoad:headline,ServeLoadSharded:headline,ServeLoadDegraded:headline,ServeLoadClosedLoop:headline,sweep_walltime:ratio,health_overhead:ratio,shed_overhead:ratio
 bench-gate:
 	@test -n "$(NEW)" || { echo "usage: make bench-gate [OLD=old.json] NEW=new.json [DELTA=delta.json]"; exit 2; }
 	$(GO) run ./cmd/benchjson -compare -delta $(DELTA) -maxratio 1.25 -gate $(BENCH_GATES) $(OLD) $(NEW)
@@ -125,11 +127,13 @@ examples-smoke:
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/scenario
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/sharded
 	DRSTRANGE_INSTR=3000 $(GO) run ./examples/degraded
+	DRSTRANGE_INSTR=3000 $(GO) run ./examples/closedloop
 	$(GO) run ./cmd/rngbench -loads 320,1280 -warmup 5000 -window 20000
 	$(GO) run ./cmd/rngbench -loads 1280,5120 -warmup 5000 -window 20000 -shards 1,4 -router jsq
 	$(GO) run ./cmd/rngbench -loads 1280 -warmup 5000 -window 20000 -shards 4 -router jsq -fault bias-ramp
 	$(GO) run ./cmd/rngbench -loads 320,1280 -warmup 5000 -window 20000 -warm on
 	$(GO) run ./cmd/rngbench -loads 1280 -warmup 5000 -window 20000 -checkpoint 4000
+	$(GO) run ./cmd/rngbench -loads 1280,5120 -warmup 5000 -window 20000 -think 500 -classes keygen,bulk -admission threshold-by-depth
 
 # The canned scenarios/ files for all three kinds run through both
 # CLIs (any CLI runs any kind via -scenario), and the figure scenario's
@@ -172,5 +176,17 @@ scenario-smoke:
 		rm -rf $$tmp; exit 1; \
 	fi; \
 	rm -rf $$tmp; echo "scenario-smoke OK: degraded serve output matches the committed trip/availability golden"
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/drstrange -scenario scenarios/serve_closedloop.json > $$tmp/drstrange.txt; \
+	$(GO) run ./cmd/rngbench -scenario scenarios/serve_closedloop.json > $$tmp/rngbench.txt; \
+	if ! diff -u $$tmp/drstrange.txt $$tmp/rngbench.txt; then \
+		echo "closed-loop serve scenario output differs between the two CLIs"; \
+		rm -rf $$tmp; exit 1; \
+	fi; \
+	if ! diff -u testdata/serve_closedloop_golden.txt $$tmp/drstrange.txt; then \
+		echo "closed-loop serve scenario output drifted from the committed golden"; \
+		rm -rf $$tmp; exit 1; \
+	fi; \
+	rm -rf $$tmp; echo "scenario-smoke OK: closed-loop serve output matches the committed overload golden"
 
 ci: fmt vet lint-custom build test race ci-matrix bench-smoke examples-smoke scenario-smoke

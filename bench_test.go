@@ -301,6 +301,79 @@ func BenchmarkServeLoadDegraded(b *testing.B) {
 	b.ReportMetric(float64(h.DowntimeTicks), "headline")
 }
 
+// BenchmarkServeLoadClosedLoop is the overload-robustness headline: a
+// closed-loop client population (think time 1000 ticks) with
+// keygen+bulk request classes and threshold-by-depth admission, pushed
+// to 2x the mechanism's capacity — the committed serve_closedloop
+// scenario's shape. The headline metric is the keygen class's p99
+// latency in ns (the SLO the shedding exists to protect); viol_keygen
+// and shed track the SLO-violation fraction and the sheds the bulk
+// class absorbed.
+//
+// The shed_overhead_x metric measures what the class/admission
+// machinery costs the clean OPEN-loop hot path: the same paired
+// quad-median user-CPU ratio BenchmarkServeLoadHealthClean uses (GC
+// off, mirrored quad order, median quad), classed+admission saturated
+// sweep over the plain saturated sweep. `make bench-json` surfaces it
+// as the shed_overhead headline, fails snapshot creation past -shedmax
+// (default 1.05), and the bench-gate compare pins it against the
+// committed baseline via the shed_overhead:ratio pseudo-row.
+func BenchmarkServeLoadClosedLoop(b *testing.B) {
+	b.ReportAllocs()
+	base := sim.ServeConfig{
+		Design:      sim.DesignDRStrange,
+		Background:  workload.Mix{Name: "mcf", Apps: []string{"mcf"}},
+		WarmupTicks: 10_000,
+		WindowTicks: 50_000,
+		Seed:        3,
+	}
+	shed := base
+	shed.Classes = []string{"keygen", "bulk"}
+	shed.Admission = sim.AdmissionThreshold
+	closed := shed
+	closed.ThinkTicks = 1_000
+	const quads = 5
+	var pts []sim.ServePoint
+	ratios := make([]float64, 0, quads)
+	// Same reasoning as the health benchmark: the ratio measures the
+	// shed path's CPU cost, so a GC cycle landing on one side of a quad
+	// must not masquerade as admission overhead.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for i := 0; i < b.N; i++ {
+		pts = sim.ServeLoad(closed, []float64{5120})
+		ratios = ratios[:0]
+		runtime.GC() // bound heap growth while the collector is off
+		for q := 0; q < quads; q++ {
+			var shedNs, baseNs time.Duration
+			for j := 0; j < 2; j++ {
+				for k := 0; k < 2; k++ {
+					t0 := cpuNow()
+					if (j+k)%2 == 0 {
+						sim.ServeLoad(shed, []float64{5120})
+						shedNs += cpuNow() - t0
+					} else {
+						sim.ServeLoad(base, []float64{5120})
+						baseNs += cpuNow() - t0
+					}
+				}
+			}
+			ratios = append(ratios, float64(shedNs)/float64(baseNs))
+		}
+		sort.Float64s(ratios)
+	}
+	if len(pts[0].PerClass) != 2 {
+		b.Fatalf("closed-loop point has no per-class stats: %+v", pts[0])
+	}
+	keygen := pts[0].PerClass[0]
+	if pts[0].Shed == 0 {
+		b.Fatalf("2x overload with admission shed nothing: %+v", pts[0])
+	}
+	b.ReportMetric(ratios[quads/2], "shed_overhead_x")
+	b.ReportMetric(keygen.ViolationFrac, "viol_keygen")
+	b.ReportMetric(float64(pts[0].Shed), "shed")
+	b.ReportMetric(keygen.P99*sim.TickNanos, "headline")
+}
+
 // BenchmarkServeLoadLongWindow holds the offered load at capacity over
 // a 4,000,000-tick window (80x the default; 20 ms of simulated time).
 // Before the streaming pipeline this point materialized every arrival

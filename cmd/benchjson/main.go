@@ -29,6 +29,13 @@
 // measured value tightly through the health_overhead:ratio compare
 // gate below.
 //
+// When the input contains ServeLoadClosedLoop (the closed-loop
+// overload benchmark), the snapshot carries a shed_overhead headline —
+// the classed+admission / plain open-loop CPU ratio it measures
+// pairwise inside the benchmark — gated at snapshot time by -shedmax
+// (default 1.05: the request-class and admission machinery must stay
+// within 5% of the clean open-loop hot path).
+//
 // When the input contains the ServeSweepWarm/ServeSweepCold pair (the
 // same offered-load sweep with checkpointed warm starts on and off),
 // the snapshot carries a sweep_walltime headline — the warm/cold ns/op
@@ -93,6 +100,19 @@ type healthOverhead struct {
 	Ratio      float64 `json:"ratio"`
 }
 
+// shedOverhead is the overload-robustness headline: the walltime ratio
+// of the classed+admission open-loop saturated sweep over the plain
+// one, taken from the ServeLoadClosedLoop benchmark's own paired
+// shed_overhead_x metric (the two sweeps interleaved in mirrored quads
+// inside one benchmark, so host drift cancels). It prices what the
+// request-class and admission machinery costs the clean open-loop hot
+// path; -shedmax gates it at snapshot time (default 1.05).
+type shedOverhead struct {
+	ClosedBench string  `json:"closed_bench"`
+	BaseBench   string  `json:"base_bench"`
+	Ratio       float64 `json:"ratio"`
+}
+
 // sweepWalltime is the checkpointed-warm-start headline: the ns/op
 // ratio of the warm offered-load sweep (every point forked from one
 // snapshotted image) over the cold sweep (every point re-runs the
@@ -112,6 +132,7 @@ type snapshot struct {
 	Env            map[string]string `json:"env"`
 	ServeMemory    *serveMemory      `json:"serve_memory,omitempty"`
 	HealthOverhead *healthOverhead   `json:"health_overhead,omitempty"`
+	ShedOverhead   *shedOverhead     `json:"shed_overhead,omitempty"`
 	SweepWalltime  *sweepWalltime    `json:"sweep_walltime,omitempty"`
 	Benchmarks     []benchResult     `json:"benchmarks"`
 }
@@ -127,6 +148,12 @@ const serveMemoryBench = "ServeLoadSaturated"
 // an older benchmark format has no overhead_x, the cross-benchmark
 // ns/op ratio against serveMemoryBench is the fallback.
 const healthOverheadBench = "ServeLoadHealthClean"
+
+// shedOverheadBench names the closed-loop overload benchmark; its
+// paired shed_overhead_x metric (classed+admission open-loop sweep /
+// plain sweep, measured intra-benchmark) is the shed_overhead headline,
+// gated by -shedmax at snapshot time.
+const shedOverheadBench = "ServeLoadClosedLoop"
 
 // sweepWarmBench/sweepColdBench name the warm-start sweep pair; their
 // ns/op ratio is the sweep_walltime headline, gated by -warmmax at
@@ -144,6 +171,7 @@ func main() {
 	gate := flag.String("gate", "", "with -compare, comma-separated Benchmark:metric pairs to enforce (e.g. ServeLoadSaturated:B/op,ServeLoad:headline)")
 	healthMax := flag.Float64("healthmax", 1.15, "fail snapshot creation when the clean-path health-monitoring CPU overhead exceeds this ratio (set outside shared-runner noise; quiet hosts measure 2-3%)")
 	warmMax := flag.Float64("warmmax", 1.0, "fail snapshot creation when the warm-start sweep walltime ratio (ServeSweepWarm / ServeSweepCold ns/op) exceeds this")
+	shedMax := flag.Float64("shedmax", 1.05, "fail snapshot creation when the class/admission machinery's clean open-loop CPU overhead exceeds this ratio")
 	flag.Parse()
 
 	if *compare {
@@ -195,8 +223,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
-	var baseNs, cleanNs, pairedOverhead, warmNs, coldNs float64
+	var baseNs, cleanNs, pairedOverhead, pairedShed, warmNs, coldNs float64
 	for _, b := range snap.Benchmarks {
+		if b.Name == shedOverheadBench {
+			pairedShed = b.Metrics["shed_overhead_x"]
+		}
 		if b.Name == serveMemoryBench {
 			baseNs = b.Metrics["ns/op"]
 			snap.ServeMemory = &serveMemory{
@@ -230,6 +261,13 @@ func main() {
 			Ratio:      cleanNs / baseNs,
 		}
 	}
+	if pairedShed > 0 {
+		snap.ShedOverhead = &shedOverhead{
+			ClosedBench: shedOverheadBench,
+			BaseBench:   serveMemoryBench,
+			Ratio:       pairedShed,
+		}
+	}
 	if warmNs > 0 && coldNs > 0 {
 		snap.SweepWalltime = &sweepWalltime{
 			WarmBench: sweepWarmBench,
@@ -257,6 +295,14 @@ func main() {
 			h.Ratio, h.CleanBench, h.BaseBench, *healthMax)
 		if h.Ratio > *healthMax {
 			fmt.Fprintf(os.Stderr, "benchjson: health-monitoring overhead exceeds the %.2fx clean-path gate\n", *healthMax)
+			os.Exit(1)
+		}
+	}
+	if s := snap.ShedOverhead; s != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: clean open-loop shed-path overhead %.3fx (%s / %s, gate %.2fx)\n",
+			s.Ratio, s.ClosedBench, s.BaseBench, *shedMax)
+		if s.Ratio > *shedMax {
+			fmt.Fprintf(os.Stderr, "benchjson: class/admission machinery exceeds the %.2fx clean open-loop gate\n", *shedMax)
 			os.Exit(1)
 		}
 	}
@@ -387,6 +433,9 @@ func compareSnapshots(oldPath, newPath, deltaPath string, gates map[string]bool,
 	}
 	if oldSnap.HealthOverhead != nil && newSnap.HealthOverhead != nil {
 		rows = append(rows, headlineRow{"health_overhead", oldSnap.HealthOverhead.Ratio, newSnap.HealthOverhead.Ratio})
+	}
+	if oldSnap.ShedOverhead != nil && newSnap.ShedOverhead != nil {
+		rows = append(rows, headlineRow{"shed_overhead", oldSnap.ShedOverhead.Ratio, newSnap.ShedOverhead.Ratio})
 	}
 	for _, r := range rows {
 		e := deltaEntry{Benchmark: r.name, Metric: "ratio", Old: r.ov, New: r.nv,

@@ -34,6 +34,17 @@
 // checkpoint/resume whose output is byte-identical to an uninterrupted
 // run.
 //
+// -think T switches the sweep from open-loop arrivals to a closed-loop
+// client population: each client submits one request, waits for it to
+// complete, thinks for ~T ticks, and submits again; failed or shed
+// requests retry with capped exponential backoff. -classes tags
+// requests with priority/deadline request classes (cycled round-robin
+// across submissions) and -admission picks the server-side load-
+// shedding policy when a shard's entropy buffer runs dry or its queue
+// grows past bound — together they are the overload-robustness story:
+// keygen holds its deadline SLO at 2x capacity while bulk absorbs the
+// shedding.
+//
 // Usage examples:
 //
 //	rngbench
@@ -46,6 +57,7 @@
 //	rngbench -designs drstrange -loads 1280 -shards 4 -router jsq -fault bias-ramp
 //	rngbench -warm on -loads 320,640,1280,2560
 //	rngbench -loads 2560 -window 1000000 -checkpoint 100000
+//	rngbench -think 1000 -classes keygen,bulk -admission threshold-by-depth -loads 2560,5120
 package main
 
 import (
@@ -72,7 +84,14 @@ func main() {
 	arrival := flag.String("arrival", workload.ArrivalPoisson,
 		"arrival process: "+strings.Join(workload.ArrivalNames(), "|"))
 	burst := flag.Float64("burst", 0.25, "burstiness of the bursty arrival process (0..0.32)")
-	clients := flag.Int("clients", 8, "simulated request clients")
+	clients := flag.Int("clients", 0,
+		"simulated request clients (default DRSTRANGE_CLIENTS or 8)")
+	think := flag.Int64("think", 0,
+		"closed-loop think time in ticks: each client waits for its request, thinks, then submits again; failed or shed requests retry with capped exponential backoff (0 = open-loop arrivals)")
+	classesFlag := flag.String("classes", "",
+		"comma-separated request classes cycled across requests: "+strings.Join(drstrange.ClassNames(), "|")+" (empty = unclassed)")
+	admission := flag.String("admission", "",
+		"admission policy when a shard overloads: "+strings.Join(drstrange.AdmissionNames(), "|")+" (default DRSTRANGE_ADMISSION or none)")
 	bytesPer := flag.Int("bytes", 8, "bytes of randomness per request")
 	warmup := flag.Int64("warmup", 20000, "warmup ticks before measurement (0 = measure from cold start)")
 	window := flag.Int64("window", 100000, "measurement window in memory ticks (1 tick = 5 ns)")
@@ -121,7 +140,6 @@ func main() {
 		drstrange.WithLoads(loads...),
 		drstrange.WithApps(cliflag.SplitList(*apps)...),
 		drstrange.WithArrival(*arrival, *burst),
-		drstrange.WithClients(*clients),
 		drstrange.WithRequestBytes(*bytesPer),
 		drstrange.WithWarmupTicks(*warmup),
 		drstrange.WithWindowTicks(*window),
@@ -131,6 +149,18 @@ func main() {
 	// same flag > file > env precedence the shared knobs follow.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["clients"] {
+		sc.Clients = *clients
+	}
+	if set["think"] {
+		sc.ThinkTicks = *think
+	}
+	if set["classes"] {
+		sc.Classes = cliflag.SplitList(*classesFlag)
+	}
+	if set["admission"] {
+		sc.Admission = *admission
+	}
 	if set["router"] {
 		sc.Router = *router
 	}

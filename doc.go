@@ -160,9 +160,49 @@
 // uninterrupted run, so every checkpointed run self-tests the
 // snapshot path.
 //
+// # Closed-loop serving and overload policies
+//
+// The open-loop arrival processes model aggregate demand; a serve
+// scenario's ThinkTicks field switches the sweep to a closed-loop
+// client population instead. The population is sized to the offered
+// load by Little's law (clients ≈ rate × think): each client submits
+// one request, waits for its completion (via the injection-port hook),
+// thinks for an exponentially distributed gap with mean ThinkTicks
+// (capped at 16× the mean), and submits again. A shed or failed
+// request is retried after capped exponential backoff — 256 ticks
+// doubling to a 16384-tick ceiling — with deterministic jitter that is
+// a pure function of (seed, client, attempt), so the schedule, which
+// is generated online from completion ticks, replays byte-identically
+// across engines, event queues, and worker counts
+// (internal/workload.ClosedLoop; TestServeClosedLoopDifferential* and
+// the committed closed-loop golden pin it).
+//
+// The Classes field tags submissions round-robin with request classes
+// from a fixed vocabulary: "keygen" (priority 2, 4000-tick / 20 µs
+// deadline), "standard" (priority 1, 20000-tick deadline), "bulk"
+// (priority 0, no deadline). Priority orders the shard front-end queue
+// and the memory controller's RNG queue (equal priorities keep FIFO
+// order, so an unclassed stream's bytes are unchanged), and a request
+// that has not started generating by its deadline fails with an
+// explicit deadline-miss mark. The Admission field selects what the
+// router does when a shard's queue sits at the admission bound
+// (default depth 64, halved while that shard's entropy buffer is
+// dry): "none" accepts everything, "drop-lowest-class" sheds only the
+// lowest-priority class, "threshold-by-depth" sheds priority p at
+// (p+1)× the bound. Sheds resolve immediately and are visible to the
+// closed-loop retry path, and the per-shard conservation identity
+// routed == completed + shed + deadline-missed holds under every
+// policy. Serve points report population, shed/retried/deadline-missed
+// counts, and per-class stats (p50/p99, goodput, SLO-violation
+// fraction) in both the figure text and the JSON report. The headline
+// (scenarios/serve_closedloop.json, examples/closedloop): at 2× the
+// D-RaNGe generation capacity with threshold admission, keygen holds
+// its deadline SLO below a 1% violation fraction while bulk absorbs
+// all of the shedding.
+//
 // # Environment knobs
 //
-// Nine environment variables tune every driver and benchmark (their
+// Eleven environment variables tune every driver and benchmark (their
 // accepted values are documented and validated in internal/sim/env.go;
 // invalid settings warn once on stderr and fall back, and an unknown
 // DRSTRANGE_-prefixed variable — a typo — is called out once too):
@@ -190,6 +230,11 @@
 //   - DRSTRANGE_WARM defaults serve-scenario checkpointed warm
 //     starts: "on" or "off" (default). Warned and ignored on
 //     non-serve kinds.
+//   - DRSTRANGE_CLIENTS defaults the open-loop serve-scenario client
+//     count (default 8; closed-loop runs size their own population).
+//     Warned and ignored on non-serve kinds.
+//   - DRSTRANGE_ADMISSION defaults the serve-scenario admission
+//     policy (default "none"). Warned and ignored on non-serve kinds.
 //
 // Scenario fields take precedence over the environment when set; unset
 // fields defer to it, so serialized scenarios stay portable across

@@ -277,6 +277,21 @@ func (c *Controller) SubmitWrite(line uint64, core int, now int64) bool {
 // joins the RNG queue (RNGAware) or the pending list (RNGOblivious).
 // It returns false if the queue is full.
 func (c *Controller) SubmitRNG(core int, now int64) (*Request, bool) {
+	return c.SubmitRNGPri(core, now, 0, 0)
+}
+
+// SubmitRNGPri is SubmitRNG with a class priority and an absolute
+// deadline (0 = none) attached: the RNG queue keeps deadline-aware
+// priority order — higher priority first, then earlier deadline, then
+// FIFO — so the queue head creditBits serves next is always the most
+// urgent outstanding request. A (0, 0) submission is byte-identical to
+// SubmitRNG: the insertion degenerates to the historical tail append.
+// The buffer-hit fast path ignores priority (a hit completes in
+// BufferServeLatency regardless), and the oblivious pending list stays
+// FIFO — the baseline design has no notion of classes.
+//
+//drstrange:noalloc
+func (c *Controller) SubmitRNGPri(core int, now int64, prio int, deadline int64) (*Request, bool) {
 	c.isRNGApp[core] = true
 	if c.cfg.Policy == RNGAware {
 		hit := false
@@ -301,7 +316,19 @@ func (c *Controller) SubmitRNG(core int, now int64) (*Request, bool) {
 		}
 		req := c.newRequest()
 		req.Kind, req.Core, req.Arrive = KindRNG, core, now
+		req.Prio, req.Deadline = prio, deadline
 		c.rngQ = append(c.rngQ, req)
+		if prio != 0 || deadline != 0 {
+			// Stable insertion: shift only while the new request strictly
+			// precedes its neighbor, so equal (prio, deadline) pairs keep
+			// submission order and the all-zero stream never shifts.
+			j := len(c.rngQ) - 1
+			for j > 0 && rngBefore(req, c.rngQ[j-1]) {
+				c.rngQ[j] = c.rngQ[j-1]
+				j--
+			}
+			c.rngQ[j] = req
+		}
 		return req, true
 	}
 	if len(c.rngPending) >= c.cfg.RNGQueueCap {
@@ -311,6 +338,25 @@ func (c *Controller) SubmitRNG(core int, now int64) (*Request, bool) {
 	req.Kind, req.Core, req.Arrive = KindRNG, core, now
 	c.rngPending = append(c.rngPending, req)
 	return req, true
+}
+
+// rngBefore reports whether a strictly precedes b in the RNG queue's
+// deadline-aware priority order: higher priority first, then earlier
+// deadline (0 = none sorts last), never reordering ties.
+//
+//drstrange:noalloc
+func rngBefore(a, b *Request) bool {
+	if a.Prio != b.Prio {
+		return a.Prio > b.Prio
+	}
+	da, db := a.Deadline, b.Deadline
+	if da == 0 {
+		da = int64(1) << 62
+	}
+	if db == 0 {
+		db = int64(1) << 62
+	}
+	return da < db
 }
 
 // Tick advances the controller by one memory cycle.

@@ -716,3 +716,52 @@ func TestCompletionFIFOBoundedWithPendingTail(t *testing.T) {
 		t.Fatalf("completion FIFO grew to cap %d despite compaction", maxCap)
 	}
 }
+
+// TestSubmitRNGPriOrdering pins the RNG queue's deadline-aware
+// priority order: higher Prio first, earlier Deadline within a
+// priority (no deadline sorts last), and FIFO among full ties — so an
+// all-zero submission stream keeps the exact historical queue order.
+func TestSubmitRNGPriOrdering(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Policy = RNGAware
+	cfg.Buffer = newTestBuffer(16) // empty: every submission queues
+	cfg.Fill = FillNone
+	c := mustController(t, cfg)
+
+	submit := func(core, prio int, deadline int64) {
+		t.Helper()
+		if _, ok := c.SubmitRNGPri(core, 0, prio, deadline); !ok {
+			t.Fatalf("core %d: submit failed", core)
+		}
+	}
+	submit(0, 0, 0)   // plain FIFO
+	submit(1, 0, 0)   // plain FIFO, after 0
+	submit(2, 2, 100) // top priority: jumps both
+	submit(3, 2, 50)  // same priority, earlier deadline: ahead of 2
+	submit(4, 2, 100) // full tie with 2: FIFO after it
+	submit(5, 1, 10)  // mid priority: behind the 2s, ahead of the 0s
+	submit(6, 0, 5)   // deadline beats the no-deadline zeros
+
+	want := []int{3, 2, 4, 5, 6, 0, 1}
+	if len(c.rngQ) != len(want) {
+		t.Fatalf("queue length %d, want %d", len(c.rngQ), len(want))
+	}
+	for i, core := range want {
+		if c.rngQ[i].Core != core {
+			got := make([]int, len(c.rngQ))
+			for j, r := range c.rngQ {
+				got[j] = r.Core
+			}
+			t.Fatalf("queue order %v, want %v", got, want)
+		}
+	}
+
+	// The capacity check is shared with the plain path: the queue still
+	// refuses past RNGQueueCap regardless of priority.
+	for i := len(want); i < cfg.RNGQueueCap; i++ {
+		submit(7, 2, 1)
+	}
+	if _, ok := c.SubmitRNGPri(7, 0, 2, 1); ok {
+		t.Fatal("submission accepted past RNGQueueCap")
+	}
+}

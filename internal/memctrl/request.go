@@ -63,6 +63,14 @@ type Request struct {
 	// FromBuffer marks RNG requests served out of the random number
 	// buffer rather than by generating fresh bits in DRAM.
 	FromBuffer bool
+	// Prio is the RNG request's class priority (SubmitRNGPri): the RNG
+	// queue serves higher priorities first. 0 — every historical
+	// submission path — preserves plain FIFO order.
+	Prio int
+	// Deadline is the RNG request's absolute completion deadline in
+	// ticks; 0 means none. Among equal priorities the RNG queue serves
+	// earlier deadlines first (none sorts last).
+	Deadline int64
 
 	// bitsFilled tracks generation progress of an RNG request.
 	bitsFilled float64

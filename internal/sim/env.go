@@ -39,6 +39,15 @@ package sim
 //	                   forked across offered-load points instead of
 //	                   re-running every warmup. Serve-only, like
 //	                   DRSTRANGE_SHARDS.
+//	DRSTRANGE_CLIENTS  positive integer — request client count of
+//	                   open-loop serve scenarios (default 8; ignored
+//	                   by closed-loop points, whose population is sized
+//	                   from the offered load). Serve-only, like
+//	                   DRSTRANGE_SHARDS.
+//	DRSTRANGE_ADMISSION admission policy name of serve scenarios (see
+//	                   AdmissionNames: none, drop-lowest-class,
+//	                   threshold-by-depth; default none). Serve-only,
+//	                   like DRSTRANGE_SHARDS.
 //
 // A knob set to anything outside its accepted values is ignored with a
 // single warning on stderr (it used to fall back silently, which made
@@ -215,6 +224,32 @@ func DefaultWarm() string {
 	}
 }
 
+// DefaultClients resolves the serve layer's open-loop client count:
+// DRSTRANGE_CLIENTS, or 8. Not cached — tests and long-lived callers
+// may change it between sweeps.
+func DefaultClients() int {
+	if n, ok := envPositiveInt("DRSTRANGE_CLIENTS"); ok {
+		return int(n)
+	}
+	return 8
+}
+
+// DefaultAdmission resolves the serve layer's admission policy:
+// DRSTRANGE_ADMISSION, or none. An unknown name warns once (with the
+// sorted valid list) and falls back, like every other knob.
+func DefaultAdmission() string {
+	v := os.Getenv("DRSTRANGE_ADMISSION")
+	if v == "" {
+		return AdmissionNone
+	}
+	if !ValidAdmission(v) {
+		envWarnOnce("DRSTRANGE_ADMISSION",
+			fmt.Sprintf("ignoring DRSTRANGE_ADMISSION=%q: want one of %s", v, strings.Join(AdmissionNames(), ", ")))
+		return AdmissionNone
+	}
+	return v
+}
+
 // WarnIgnoredServeKnobs warns once per knob when the serve-only
 // knobs are set in the environment of a non-serve scenario
 // kind: a figure or closed-loop run always models the paper's
@@ -222,7 +257,7 @@ func DefaultWarm() string {
 // DRSTRANGE_SHARDS/ROUTER/HEALTH/FAULT would otherwise be silently
 // dead.
 func WarnIgnoredServeKnobs(kind string) {
-	for _, knob := range []string{"DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER", "DRSTRANGE_HEALTH", "DRSTRANGE_FAULT", "DRSTRANGE_WARM"} {
+	for _, knob := range []string{"DRSTRANGE_SHARDS", "DRSTRANGE_ROUTER", "DRSTRANGE_HEALTH", "DRSTRANGE_FAULT", "DRSTRANGE_WARM", "DRSTRANGE_CLIENTS", "DRSTRANGE_ADMISSION"} {
 		if os.Getenv(knob) != "" {
 			envWarnOnce(knob,
 				fmt.Sprintf("%s applies only to serve scenarios; ignored on kind %q", knob, kind))
@@ -234,15 +269,17 @@ func WarnIgnoredServeKnobs(kind string) {
 // checks the environment against it; keep it in sync with the doc block
 // above.
 var knownEnvKnobs = map[string]bool{
-	"DRSTRANGE_INSTR":   true,
-	"DRSTRANGE_WORKERS": true,
-	"DRSTRANGE_ENGINE":  true,
-	"DRSTRANGE_EVENTQ":  true,
-	"DRSTRANGE_SHARDS":  true,
-	"DRSTRANGE_ROUTER":  true,
-	"DRSTRANGE_HEALTH":  true,
-	"DRSTRANGE_FAULT":   true,
-	"DRSTRANGE_WARM":    true,
+	"DRSTRANGE_INSTR":     true,
+	"DRSTRANGE_WORKERS":   true,
+	"DRSTRANGE_ENGINE":    true,
+	"DRSTRANGE_EVENTQ":    true,
+	"DRSTRANGE_SHARDS":    true,
+	"DRSTRANGE_ROUTER":    true,
+	"DRSTRANGE_HEALTH":    true,
+	"DRSTRANGE_FAULT":     true,
+	"DRSTRANGE_WARM":      true,
+	"DRSTRANGE_CLIENTS":   true,
+	"DRSTRANGE_ADMISSION": true,
 }
 
 // WarnUnknownEnvKnobs warns once per variable about environment

@@ -231,6 +231,68 @@ func TestEnvHealthKnobs(t *testing.T) {
 	}
 }
 
+// TestEnvClosedLoopKnobs pins DRSTRANGE_CLIENTS/DRSTRANGE_ADMISSION:
+// valid values apply, bad values warn once and fall back, and the
+// admission warning names the sorted accepted list.
+func TestEnvClosedLoopKnobs(t *testing.T) {
+	buf := captureEnvWarnings(t, "DRSTRANGE_CLIENTS", "DRSTRANGE_ADMISSION")
+
+	t.Setenv("DRSTRANGE_CLIENTS", "32")
+	if got := DefaultClients(); got != 32 {
+		t.Errorf("DRSTRANGE_CLIENTS=32: got %d", got)
+	}
+	t.Setenv("DRSTRANGE_CLIENTS", "")
+	if got := DefaultClients(); got != 8 {
+		t.Errorf("unset DRSTRANGE_CLIENTS: got %d, want 8", got)
+	}
+	t.Setenv("DRSTRANGE_ADMISSION", AdmissionDropLowest)
+	if got := DefaultAdmission(); got != AdmissionDropLowest {
+		t.Errorf("DRSTRANGE_ADMISSION=drop-lowest-class: got %q", got)
+	}
+	t.Setenv("DRSTRANGE_ADMISSION", "")
+	if got := DefaultAdmission(); got != AdmissionNone {
+		t.Errorf("unset DRSTRANGE_ADMISSION: got %q, want none", got)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("valid knobs warned: %q", buf.String())
+	}
+
+	for _, bad := range []string{"0", "-4", "everyone"} {
+		t.Setenv("DRSTRANGE_CLIENTS", bad)
+		if got := DefaultClients(); got != 8 {
+			t.Errorf("DRSTRANGE_CLIENTS=%q: got %d, want 8", bad, got)
+		}
+	}
+	if n := strings.Count(buf.String(), "DRSTRANGE_CLIENTS"); n != 1 {
+		t.Errorf("bad DRSTRANGE_CLIENTS warned %d times, want 1:\n%s", n, buf.String())
+	}
+
+	t.Setenv("DRSTRANGE_ADMISSION", "drop-everything")
+	for i := 0; i < 3; i++ {
+		if got := DefaultAdmission(); got != AdmissionNone {
+			t.Errorf("DRSTRANGE_ADMISSION=drop-everything: got %q, want none", got)
+		}
+	}
+	if n := strings.Count(buf.String(), "DRSTRANGE_ADMISSION"); n != 1 {
+		t.Errorf("bad DRSTRANGE_ADMISSION warned %d times, want 1:\n%s", n, buf.String())
+	}
+	if want := strings.Join(AdmissionNames(), ", "); !strings.Contains(buf.String(), want) {
+		t.Errorf("admission warning does not list the valid names %q: %q", want, buf.String())
+	}
+
+	// Both knobs are serve-only: other kinds call them out.
+	buf2 := captureEnvWarnings(t, "DRSTRANGE_CLIENTS", "DRSTRANGE_ADMISSION")
+	t.Setenv("DRSTRANGE_CLIENTS", "32")
+	t.Setenv("DRSTRANGE_ADMISSION", AdmissionThreshold)
+	WarnIgnoredServeKnobs("figure")
+	WarnIgnoredServeKnobs("figure")
+	for _, knob := range []string{"DRSTRANGE_CLIENTS", "DRSTRANGE_ADMISSION"} {
+		if n := strings.Count(buf2.String(), knob); n != 1 {
+			t.Errorf("%s warned %d times, want 1:\n%s", knob, n, buf2.String())
+		}
+	}
+}
+
 // TestWarnUnknownEnvKnobs pins typo detection: a DRSTRANGE_-prefixed
 // variable that names no knob warns once (listing the known knobs), a
 // known knob never does, and other prefixes are never scanned.

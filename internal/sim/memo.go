@@ -99,6 +99,12 @@ func runKey(cfg RunConfig) string {
 		// enabled so every historical key keeps its exact bytes.
 		fmt.Fprintf(&b, "|h%+v|f%+v", cfg.Health, cfg.Fault)
 	}
+	if len(cfg.Classes) > 0 || cfg.Admission != AdmissionNone {
+		// Classes and admission shape the built System; keyed only when
+		// configured, like Health, so every historical key keeps its
+		// exact bytes.
+		fmt.Fprintf(&b, "|cl%+v|a%s|ad%d", cfg.Classes, cfg.Admission, cfg.AdmitDepth)
+	}
 	return b.String()
 }
 
@@ -128,6 +134,12 @@ func warmKey(cfg ServeConfig) string {
 		cfg.Design, strings.Join(cfg.Background.Apps, ","), cfg.Background.RNGMbps,
 		cfg.Mech.Name, cfg.BufferWords, cfg.Seed, cfg.Clients, cfg.WarmupTicks,
 		cfg.Shards, cfg.Router, cfg.Health, cfg.Fault, Engine(), EventQueue())
+	if len(cfg.Classes) > 0 || cfg.Admission != AdmissionNone {
+		// Keyed only when configured, like runKey's class gate, so every
+		// historical warm-image key keeps its exact bytes. (Closed-loop
+		// sweeps never warm-start, so ThinkTicks needs no key.)
+		fmt.Fprintf(&b, "|cl%v|a%s|ad%d", cfg.Classes, cfg.Admission, cfg.AdmitDepth)
+	}
 	return b.String()
 }
 

@@ -57,6 +57,18 @@ type RunConfig struct {
 	// round-robin, jsq, buffer-aware, sticky); "" selects round-robin.
 	// Irrelevant when Shards == 1.
 	Router string
+	// Classes is the request-class table of the injection port
+	// (class.go): InjectRNGClass indexes into it to attach a priority
+	// and deadline to an injected request. Empty leaves the port
+	// unclassed — every historical injection path, byte for byte.
+	Classes []RequestClass
+	// Admission names the shard admission policy applied at the routing
+	// tick (AdmissionNames: none, drop-lowest-class, threshold-by-depth);
+	// "" selects none. Meaningful only with Clients > 0.
+	Admission string
+	// AdmitDepth is the per-shard queue-depth admission bound; <= 0
+	// selects DefaultAdmitDepth. Ignored when Admission is none.
+	AdmitDepth int
 	// Health configures online entropy health monitoring (health.go):
 	// continuous SP 800-90B-style tests per shard with trip/quarantine/
 	// re-qualification semantics. The zero value (Enabled false) runs
@@ -90,6 +102,12 @@ func (c RunConfig) Normalized() RunConfig {
 	}
 	if c.Router == "" {
 		c.Router = RouterRoundRobin
+	}
+	if c.Admission == "" {
+		c.Admission = AdmissionNone
+	}
+	if c.AdmitDepth <= 0 {
+		c.AdmitDepth = DefaultAdmitDepth
 	}
 	return c
 }

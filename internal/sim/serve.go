@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"drstrange/internal/metrics"
 	"drstrange/internal/trng"
@@ -40,10 +41,32 @@ type ServeConfig struct {
 	// measurement.
 	Background workload.Mix
 	// Clients is the number of simulated request clients; <= 0 selects
-	// 8. Clients matter for per-core bookkeeping (priorities, RNG-app
-	// marking and buffer partitioning), not for the arrival process,
-	// which is aggregate.
+	// DRSTRANGE_CLIENTS, then 8. On the open-loop path clients matter
+	// for per-core bookkeeping (priorities, RNG-app marking and buffer
+	// partitioning), not for the arrival process, which is aggregate. On
+	// the closed-loop path (ThinkTicks > 0) Clients is ignored: the
+	// population is sized from the offered load by Little's law, so every
+	// sweep point targets its configured rate.
 	Clients int
+	// ThinkTicks switches the experiment to a closed-loop client
+	// population with this mean exponential think time in ticks
+	// (workload.ClosedLoop): each client submits, waits for completion,
+	// thinks, and submits again; shed/failed requests retry with capped
+	// exponential backoff. <= 0 — the default — keeps the historical
+	// open-loop arrival process byte for byte.
+	ThinkTicks int64
+	// Classes names the request classes cycled across submissions
+	// (ClassNames: keygen, standard, bulk); request i carries class
+	// i mod len(Classes). Empty leaves every request unclassed — the
+	// historical path byte for byte.
+	Classes []string
+	// Admission names the per-shard admission policy (AdmissionNames:
+	// none, drop-lowest-class, threshold-by-depth); "" selects
+	// DRSTRANGE_ADMISSION, then none.
+	Admission string
+	// AdmitDepth is the per-shard queue-depth admission bound; <= 0
+	// selects DefaultAdmitDepth. Ignored when Admission is none.
+	AdmitDepth int
 	// RequestBytes is the size of one RNG request; <= 0 selects 8 (one
 	// 64-bit word). Larger requests submit ceil(RequestBytes/8) words
 	// and complete when the last word does.
@@ -114,7 +137,16 @@ func (c ServeConfig) Normalized() ServeConfig {
 		c.Mech = trng.DRaNGe()
 	}
 	if c.Clients <= 0 {
-		c.Clients = 8
+		c.Clients = DefaultClients()
+	}
+	if c.ThinkTicks < 0 {
+		c.ThinkTicks = 0
+	}
+	if c.Admission == "" {
+		c.Admission = DefaultAdmission()
+	}
+	if c.AdmitDepth <= 0 {
+		c.AdmitDepth = DefaultAdmitDepth
 	}
 	if c.RequestBytes <= 0 {
 		c.RequestBytes = 8
@@ -154,16 +186,42 @@ func (c ServeConfig) Normalized() ServeConfig {
 	if c.Warm == "" {
 		c.Warm = DefaultWarm()
 	}
-	if c.Warm != "on" || c.WarmupTicks == 0 {
+	if c.Warm != "on" || c.WarmupTicks == 0 || c.ThinkTicks > 0 {
 		// Normalize every negative spelling to "off"; with no warmup
 		// there is no warm state to share, so cold start is the same
 		// experiment and the image machinery would only add overhead.
+		// Closed-loop points are always cold: the warm image is
+		// background-only and shared across loads, but a closed loop's
+		// warmup traffic is load-dependent (its population is), so there
+		// is no image that every point could fork from.
 		c.Warm = "off"
 	}
-	if c.Checkpoint < 0 {
+	if c.Checkpoint < 0 || c.ThinkTicks > 0 {
+		// Closed-loop points never checkpoint: the client population's
+		// schedule lives outside the System, so a mid-run image would be
+		// partial. (Restore ≡ replay still holds for the System itself;
+		// this is a scope choice, not a correctness one.)
 		c.Checkpoint = 0
 	}
 	return c
+}
+
+// classTable resolves configured class names into their table entries;
+// nil when unclassed. An unknown name panics — the public surfaces
+// (scenario validation, the rngbench flags) reject it upstream.
+func classTable(names []string) []RequestClass {
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]RequestClass, len(names))
+	for i, name := range names {
+		cls, ok := ClassByName(name)
+		if !ok {
+			panic(fmt.Sprintf("sim: unknown request class %q (valid: %v)", name, ClassNames()))
+		}
+		out[i] = cls
+	}
+	return out
 }
 
 func (c *ServeConfig) normalize() { *c = c.Normalized() }
@@ -221,6 +279,54 @@ type ServePoint struct {
 	// count toward Submitted but never toward Completed or the latency
 	// percentiles — an entropy failure is an error, not a slow serve.
 	Health *ServeHealth
+
+	// Overload-robustness stats (class.go), all zero on the historical
+	// open-loop unclassed path. Population is the closed-loop client
+	// count the point ran with (Little's law from the offered load;
+	// 0 on open-loop points). Shed counts measured requests the
+	// admission policy refused; DeadlineMissed those failed at their
+	// class deadline while waiting; Retried closed-loop resubmissions
+	// after a shed/miss/failure. PerClass breaks the point down by
+	// request class, in cfg.Classes order, when classes are configured.
+	Population     int
+	Shed           int64
+	DeadlineMissed int64
+	Retried        int64
+	PerClass       []ClassStat
+}
+
+// ClassStat is one request class's slice of a measured serve point.
+// Latencies are in memory cycles, like ServePoint's.
+type ClassStat struct {
+	// Class names the request class; Priority and DeadlineTicks echo its
+	// table entry, so a report is self-describing.
+	Class         string
+	Priority      int
+	DeadlineTicks int64
+
+	// Submitted counts the class's measured-window submissions
+	// (closed-loop retries included); Completed those that finished;
+	// Shed those the admission policy refused; DeadlineMissed those
+	// failed at the class deadline while waiting; Retried the
+	// closed-loop resubmissions among Submitted.
+	Submitted      int64
+	Completed      int64
+	Shed           int64
+	DeadlineMissed int64
+	Retried        int64
+
+	MeanTicks float64
+	P50       float64
+	P99       float64
+
+	// GoodputMbps is the class's useful delivered throughput: bits of
+	// requests that completed inside the window within their deadline
+	// (all completions, for a deadline-free class).
+	GoodputMbps float64
+	// ViolationFrac is the class's SLO-violation fraction:
+	// (late completions + deadline misses) / (completions + misses).
+	// Deadline-free classes report 0.
+	ViolationFrac float64
 }
 
 // ServeLoad sweeps the offered loads (aggregate Mb/s of requested
@@ -301,6 +407,9 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	if mbps <= 0 {
 		panic("sim: offered load must be positive")
 	}
+	if cfg.ThinkTicks > 0 {
+		return servePointClosed(ctx, cfg, mbps)
+	}
 	release := acquireSlot()
 	defer release()
 
@@ -331,6 +440,7 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 	if healthOn {
 		sys.SetAvailabilityWindow(cfg.WarmupTicks, end)
 	}
+	classes := classTable(cfg.Classes)
 	p := ServePoint{OfferedMbps: mbps}
 	var (
 		hist              metrics.Histogram
@@ -338,13 +448,27 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		bufWords          int64
 		doneWords         int64
 		completedInWindow int64
+		cs                []classAcc
 	)
+	if len(classes) > 0 {
+		//drstrange:alloc-ok one slice per serve point, sized to the class table
+		cs = make([]classAcc, len(classes))
+	}
 	//drstrange:alloc-ok one closure per serve point, not per tick; the hot loop only invokes it
 	onDone := func(r *InjectedRequest) {
 		if r.Failed {
 			// Deadline-failed at a tripped shard: counted by the
 			// availability stats (ServeHealth.FailedRequests), never by
 			// the serving metrics.
+			return
+		}
+		if r.Shed || r.Missed {
+			// Refused by admission or failed at the class deadline: an
+			// error outcome, visible in the shed/miss counters but never
+			// in the latency percentiles.
+			if r.SubmitTick >= cfg.WarmupTicks {
+				accountRefusal(&p, cs, r)
+			}
 			return
 		}
 		if r.FinishTick >= cfg.WarmupTicks && r.FinishTick < end {
@@ -359,6 +483,9 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		sumTicks += l
 		bufWords += int64(r.BufferWords)
 		doneWords += int64(r.Words)
+		if cs != nil && r.Class >= 0 {
+			cs[r.Class].accountCompletion(classes, r, l, reqBits, cfg.WarmupTicks, end)
+		}
 	}
 	sys.OnInjectionComplete(onDone)
 
@@ -400,9 +527,16 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		chunk.TakeThrough(target, end, func(tick int64) {
 			if tick >= cfg.WarmupTicks {
 				p.Submitted++
+				if cs != nil {
+					cs[reqIdx%len(classes)].submitted++
+				}
 			}
 			if tick >= injectFrom {
-				sys.InjectRNG(reqIdx%cfg.Clients, tick, words)
+				if classes != nil {
+					sys.InjectRNGClass(reqIdx%cfg.Clients, tick, words, reqIdx%len(classes))
+				} else {
+					sys.InjectRNG(reqIdx%cfg.Clients, tick, words)
+				}
 			}
 			reqIdx++
 		})
@@ -453,6 +587,265 @@ func servePoint(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
 		h := sys.HealthStats(cfg.WindowTicks)
 		p.Health = &h
 	}
+	if cs != nil {
+		p.PerClass = classStats(classes, cs, cfg.WindowTicks)
+	}
+	return p
+}
+
+// classAcc is one request class's running accumulators while a point
+// streams; classStats finalizes it into the reported ClassStat.
+type classAcc struct {
+	submitted int64
+	completed int64
+	shed      int64
+	missed    int64
+	retried   int64
+	late      int64 // completions past the class deadline
+	sumTicks  int64
+	goodBits  float64
+	hist      metrics.Histogram
+}
+
+// accountRefusal folds a shed or deadline-missed measured request into
+// the point's and its class's counters.
+//
+//drstrange:noalloc
+func accountRefusal(p *ServePoint, cs []classAcc, r *InjectedRequest) {
+	if r.Shed {
+		p.Shed++
+		if cs != nil && r.Class >= 0 {
+			cs[r.Class].shed++
+		}
+		return
+	}
+	p.DeadlineMissed++
+	if cs != nil && r.Class >= 0 {
+		cs[r.Class].missed++
+	}
+}
+
+// accountCompletion folds a measured completion with latency l into the
+// class's accumulators: percentile histogram, lateness against the
+// class deadline, and window goodput.
+//
+//drstrange:noalloc
+func (a *classAcc) accountCompletion(classes []RequestClass, r *InjectedRequest, l int64, reqBits float64, warmup, end int64) {
+	a.completed++
+	a.hist.Add(l)
+	a.sumTicks += l
+	dl := classes[r.Class].DeadlineTicks
+	late := dl > 0 && l > dl
+	if late {
+		a.late++
+	}
+	if r.FinishTick >= warmup && r.FinishTick < end && !late {
+		a.goodBits += reqBits
+	}
+}
+
+// classStats finalizes the per-class accumulators into reported stats,
+// in class-table order.
+func classStats(classes []RequestClass, cs []classAcc, windowTicks int64) []ClassStat {
+	out := make([]ClassStat, len(classes))
+	for i := range classes {
+		a := &cs[i]
+		st := ClassStat{
+			Class:          classes[i].Name,
+			Priority:       classes[i].Priority,
+			DeadlineTicks:  classes[i].DeadlineTicks,
+			Submitted:      a.submitted,
+			Completed:      a.completed,
+			Shed:           a.shed,
+			DeadlineMissed: a.missed,
+			Retried:        a.retried,
+		}
+		if a.hist.N() > 0 {
+			st.MeanTicks = float64(a.sumTicks) / float64(a.hist.N())
+			st.P50 = a.hist.Percentile(0.50)
+			st.P99 = a.hist.Percentile(0.99)
+		}
+		st.GoodputMbps = a.goodBits / float64(windowTicks) * trng.MemCyclesPerSecond / 1e6
+		if den := a.completed + a.missed; den > 0 {
+			st.ViolationFrac = float64(a.late+a.missed) / float64(den)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// servePointClosed measures one offered-load point under a closed-loop
+// client population (ThinkTicks > 0). The population is sized from the
+// offered load by Little's law — pop = rate × think, so the point
+// demands its configured load when service is instant and
+// self-throttles as the server falls behind (the defining closed-loop
+// property). Each client's life cycle runs through workload.ClosedLoop:
+// submit, wait for the completion hook, think (or back off after a
+// shed/miss/failure), submit again. Wake-ups are popped and injected at
+// executed ticks between StepTo slices; the slice is bounded by a
+// quarter of the think time so a completion's next submission lands
+// promptly. Everything the loop consumes — completion ticks, think
+// draws, backoff jitter — is engine-invariant, so the schedule is
+// byte-identical across both engines and both event-queue modes.
+//
+//drstrange:noalloc
+func servePointClosed(ctx context.Context, cfg ServeConfig, mbps float64) ServePoint {
+	release := acquireSlot()
+	defer release()
+
+	words := (cfg.RequestBytes + 7) / 8
+	reqBits := float64(cfg.RequestBytes * 8)
+	ratePerTick := mbps * 1e6 / trng.MemCyclesPerSecond / reqBits
+	pop := int(math.Round(ratePerTick * float64(cfg.ThinkTicks)))
+	if pop < 1 {
+		pop = 1
+	}
+
+	seed := cfg.Seed ^ math.Float64bits(mbps)
+	classes := classTable(cfg.Classes)
+	rcfg := servePointRunConfig(cfg)
+	rcfg.Clients = pop
+	sys := NewSystem(rcfg)
+	cl := workload.NewClosedLoop(pop, cfg.ThinkTicks, seed)
+
+	healthOn := cfg.Health == "on"
+	end := cfg.WarmupTicks + cfg.WindowTicks
+	if healthOn {
+		sys.SetAvailabilityWindow(cfg.WarmupTicks, end)
+	}
+	p := ServePoint{OfferedMbps: mbps, Population: pop}
+	var (
+		hist              metrics.Histogram
+		sumTicks          int64
+		bufWords          int64
+		doneWords         int64
+		completedInWindow int64
+		cs                []classAcc
+	)
+	if len(classes) > 0 {
+		//drstrange:alloc-ok one slice per serve point, sized to the class table
+		cs = make([]classAcc, len(classes))
+	}
+	//drstrange:alloc-ok one closure per serve point, not per tick; the hot loop only invokes it
+	onDone := func(r *InjectedRequest) {
+		finish := r.FinishTick
+		if r.Failed || r.Shed || r.Missed {
+			if !r.Failed && r.SubmitTick >= cfg.WarmupTicks {
+				accountRefusal(&p, cs, r)
+			}
+			cl.OnFailure(r.Client, finish)
+			return
+		}
+		if finish >= cfg.WarmupTicks && finish < end {
+			completedInWindow++
+		}
+		if r.SubmitTick >= cfg.WarmupTicks {
+			p.Completed++
+			l := r.Latency()
+			hist.Add(l)
+			sumTicks += l
+			bufWords += int64(r.BufferWords)
+			doneWords += int64(r.Words)
+			if cs != nil && r.Class >= 0 {
+				cs[r.Class].accountCompletion(classes, r, l, reqBits, cfg.WarmupTicks, end)
+			}
+		}
+		cl.OnSuccess(r.Client, finish)
+	}
+	sys.OnInjectionComplete(onDone)
+
+	// The closed-loop slice: small enough relative to the think time
+	// that a completion's follow-up submission is injected promptly
+	// (wake-ups landing inside an executed slice are only noticed at its
+	// boundary), bounded by the open-loop slice above and a floor below.
+	slice := cfg.ThinkTicks / 4
+	if slice > serveSlice {
+		slice = serveSlice
+	}
+	if slice < 64 {
+		slice = 64
+	}
+	for sys.Now() < end {
+		if ctx.Err() != nil {
+			return ServePoint{}
+		}
+		now := sys.Now()
+		for {
+			client, attempt, ok := cl.PopReady(now)
+			if !ok {
+				break
+			}
+			if now >= cfg.WarmupTicks {
+				p.Submitted++
+				if attempt > 0 {
+					p.Retried++
+				}
+				if cs != nil {
+					a := &cs[client%len(classes)]
+					a.submitted++
+					if attempt > 0 {
+						a.retried++
+					}
+				}
+			}
+			if classes != nil {
+				sys.InjectRNGClass(client, now, words, client%len(classes))
+			} else {
+				sys.InjectRNG(client, now, words)
+			}
+		}
+		target := now + slice
+		if nr := cl.NextReady(); nr <= target {
+			// Stop exactly at the next known wake-up so its submission
+			// is injected at its ready tick, not a slice boundary later.
+			target = nr - 1
+		}
+		if target > end-1 {
+			target = end - 1
+		}
+		if target < now {
+			target = now
+		}
+		sys.StepTo(target)
+	}
+	// Drain: clients stop resubmitting past end (wake-ups pushed by
+	// drain-phase completions are simply never popped), and the
+	// outstanding population is at most pop, so the horizon is generous.
+	horizon := end + 20*cfg.WindowTicks
+	for sys.OutstandingInjections() > 0 && sys.Now() < horizon {
+		if ctx.Err() != nil {
+			return ServePoint{}
+		}
+		sys.StepTo(sys.Now() + 4095)
+	}
+
+	achievedBits := float64(completedInWindow) * reqBits
+	p.AchievedMbps = achievedBits / float64(cfg.WindowTicks) * trng.MemCyclesPerSecond / 1e6
+	if doneWords > 0 {
+		p.BufferHitRate = float64(bufWords) / float64(doneWords)
+	}
+	if hist.N() > 0 {
+		p.MeanTicks = float64(sumTicks) / float64(hist.N())
+		p.P50 = hist.Percentile(0.50)
+		p.P95 = hist.Percentile(0.95)
+		p.P99 = hist.Percentile(0.99)
+		p.P999 = hist.Percentile(0.999)
+	}
+	p.PeakOutstanding = int64(sys.PeakOutstandingInjections())
+	p.RecycledRequests = sys.RecycledInjections()
+	p.LatencyBins = hist.Bins()
+	if cfg.Shards > 1 {
+		p.Shards = cfg.Shards
+		p.Router = cfg.Router
+		p.PerShard = sys.ShardStats()
+	}
+	if healthOn {
+		h := sys.HealthStats(cfg.WindowTicks)
+		p.Health = &h
+	}
+	if cs != nil {
+		p.PerClass = classStats(classes, cs, cfg.WindowTicks)
+	}
 	return p
 }
 
@@ -471,6 +864,9 @@ func servePointRunConfig(cfg ServeConfig) RunConfig {
 		Clients:      cfg.Clients,
 		Shards:       cfg.Shards,
 		Router:       cfg.Router,
+		Classes:      classTable(cfg.Classes),
+		Admission:    cfg.Admission,
+		AdmitDepth:   cfg.AdmitDepth,
 	}
 	if cfg.Health == "on" {
 		rcfg.Health = trng.DefaultHealthConfig()
@@ -572,14 +968,39 @@ func ServeCurveCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) 
 	if degraded {
 		fault = fmt.Sprintf(", fault=%s", cfg.Fault)
 	}
+	// The closed-loop and per-class columns are gated on the
+	// configuration (ThinkTicks, Classes, Admission), never on measured
+	// data, exactly like the availability columns: an unclassed open-loop
+	// sweep renders byte-identically to every historical figure.
+	closed := cfg.ThinkTicks > 0
+	classed := len(cfg.Classes) > 0
+	mode := fmt.Sprintf("%s, %d clients", cfg.Arrival, cfg.Clients)
+	if closed {
+		mode = fmt.Sprintf("closed-loop think=%d", cfg.ThinkTicks)
+	}
+	extra := fault
+	if classed {
+		extra += fmt.Sprintf(", classes=%s", strings.Join(cfg.Classes, "+"))
+	}
+	if cfg.Admission != AdmissionNone {
+		extra += fmt.Sprintf(", admission=%s depth=%d", cfg.Admission, cfg.AdmitDepth)
+	}
 	labels := []string{"offered", "achieved", "p50ns", "p95ns", "p99ns", "p999ns", "bufhit", "served"}
 	if degraded {
 		labels = append(labels, "nines", "trips", "downtime", "failed", "rerouted")
 	}
+	if closed {
+		labels = append(labels, "clients", "retried", "shed")
+	}
+	if classed {
+		for _, name := range cfg.Classes {
+			labels = append(labels, "p99:"+name, "viol:"+name, "good:"+name, "shed:"+name)
+		}
+	}
 	f := Figure{
 		ID: id,
-		Title: fmt.Sprintf("%s serving %s %dB requests (%s, %d clients, %sbg=%s%s)",
-			cfg.Design, cfg.Mech.Name, cfg.RequestBytes, cfg.Arrival, cfg.Clients, topo, bgName(cfg.Background), fault),
+		Title: fmt.Sprintf("%s serving %s %dB requests (%s, %sbg=%s%s)",
+			cfg.Design, cfg.Mech.Name, cfg.RequestBytes, mode, topo, bgName(cfg.Background), extra),
 		// "served" is Completed/Submitted: below 1.0 the drain
 		// horizon censored the slowest requests, so the latency
 		// percentiles on that row are optimistic.
@@ -612,6 +1033,27 @@ func ServeCurveCtx(ctx context.Context, cfg ServeConfig, offeredMbps []float64) 
 				float64(h.FailedRequests),
 				float64(h.ReroutedRequests),
 			)
+		}
+		if closed {
+			values = append(values,
+				float64(pt.Population),
+				float64(pt.Retried),
+				float64(pt.Shed),
+			)
+		}
+		if classed {
+			for i := range cfg.Classes {
+				var c ClassStat
+				if i < len(pt.PerClass) {
+					c = pt.PerClass[i]
+				}
+				values = append(values,
+					c.P99*TickNanos,
+					c.ViolationFrac,
+					c.GoodputMbps,
+					float64(c.Shed),
+				)
+			}
 		}
 		f.Series = append(f.Series, Series{
 			Name:   fmt.Sprintf("%gMb/s", pt.OfferedMbps),

@@ -115,6 +115,9 @@ func cloneSystem(s *System) *System {
 		tripsLive:   s.tripsLive,
 		availFrom:   s.availFrom,
 		availUntil:  s.availUntil,
+		admitMode:   s.admitMode,
+		admitDepth:  s.admitDepth,
+		shedMinPrio: s.shedMinPrio,
 	}
 
 	for _, sh := range s.shards {

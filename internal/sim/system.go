@@ -87,6 +87,15 @@ type System struct {
 	tripsLive  int
 	availFrom  int64
 	availUntil int64
+
+	// Admission-control state (class.go), resolved at construction.
+	// admitMode is the shed policy consulted per arrival (admitNone — the
+	// default — skips the check entirely); admitDepth the per-shard
+	// queue-depth bound; shedMinPrio the lowest priority in cfg.Classes,
+	// the only class drop-lowest-class ever sheds.
+	admitMode   admission
+	admitDepth  int
+	shedMinPrio int
 }
 
 // channelShard is one independent DRAM channel of the System: its own
@@ -131,6 +140,13 @@ type channelShard struct {
 	peakLive  int   // high-water mark of live
 	doneWords int64 // words completed here
 	bufWords  int64 // of those, served from the RNG buffer
+	shed      int64 // arrivals the admission policy refused here
+	missed    int64 // waiting requests failed at their class deadline
+
+	// dlWaiting counts deadline-carrying requests in waiting[waitHead:].
+	// The per-tick deadline scan runs only while it is positive, so the
+	// unclassed hot path never pays for it.
+	dlWaiting int
 
 	// health is the shard's entropy health monitor (health.go); nil
 	// when monitoring is off, so the clean path pays nothing.
@@ -174,9 +190,21 @@ type InjectedRequest struct {
 	// health-tripped shard instead of serving (FinishTick is the fail
 	// tick; the request completed no words).
 	Failed bool
+	// Class indexes RunConfig.Classes for requests injected through
+	// InjectRNGClass; -1 marks an unclassed InjectRNG request.
+	Class int
+	// Shed marks a request the admission policy refused at its routing
+	// tick (FinishTick is the routing tick; no words were queued). The
+	// closed-loop retry path keys off this.
+	Shed bool
+	// Missed marks a request failed at its class deadline while still
+	// waiting (FinishTick is the deadline tick; no words had started).
+	Missed bool
 
 	wordsSubmitted int
 	wordsDone      int
+	prio           int   // class priority (0 for unclassed)
+	deadline       int64 // absolute deadline tick; 0 = none
 }
 
 // Latency returns the request's completion latency in memory cycles
@@ -219,6 +247,10 @@ func NewSystem(cfg RunConfig) *System {
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown router %q (valid: %v)", cfg.Router, RouterNames()))
 	}
+	mode, ok := admissionMode(cfg.Admission)
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown admission policy %q (valid: %v)", cfg.Admission, AdmissionNames()))
+	}
 
 	s := &System{
 		cfg:        cfg,
@@ -226,6 +258,13 @@ func NewSystem(cfg RunConfig) *System {
 		engine:     Engine(),
 		queue:      EventQueue(),
 		clientBase: nCores,
+		admitMode:  mode,
+		admitDepth: cfg.AdmitDepth,
+	}
+	for i, cls := range cfg.Classes {
+		if i == 0 || cls.Priority < s.shedMinPrio {
+			s.shedMinPrio = cls.Priority
+		}
 	}
 	s.availUntil = farFuture
 	ccfg := cpu.DefaultConfig()
@@ -466,6 +505,9 @@ func (s *System) execDue(t int64) bool {
 		if sh.health != nil {
 			s.healthTick(sh, t)
 		}
+		if sh.dlWaiting > 0 {
+			s.deadlineTick(sh, t)
+		}
 		if sh.waitHead < len(sh.waiting) {
 			s.admitShard(sh, t)
 		}
@@ -606,6 +648,9 @@ func (s *System) execTick(t int64) bool {
 		if sh.health != nil {
 			s.healthTick(sh, t)
 		}
+		if sh.dlWaiting > 0 {
+			s.deadlineTick(sh, t)
+		}
 		if sh.waitHead < len(sh.waiting) {
 			s.admitShard(sh, t)
 		}
@@ -659,16 +704,117 @@ func (s *System) routeArrivals(t int64) {
 			sh.health.rerouted++
 		}
 		sh.routed++
+		if s.admitMode != admitNone && s.shouldShed(sh, ir) {
+			s.shedRequest(sh, ir, t)
+			continue
+		}
 		sh.live++
 		if sh.live > sh.peakLive {
 			sh.peakLive = sh.live
 		}
+		if ir.deadline > 0 {
+			sh.dlWaiting++
+		}
 		//drstrange:alloc-ok amortized: the waiting FIFO's backing array is reused after drain
 		sh.waiting = append(sh.waiting, ir)
+		if ir.prio > 0 {
+			// Priority insertion: shift the new request ahead of strictly
+			// lower-priority entries. Equal priorities keep FIFO order, the
+			// partially submitted head is never displaced, and an unclassed
+			// stream (all prio 0) always takes the plain append above.
+			j := len(sh.waiting) - 1
+			lo := sh.waitHead
+			if lo < j && sh.waiting[lo].wordsSubmitted > 0 {
+				lo++
+			}
+			for j > lo && sh.waiting[j-1].prio < ir.prio {
+				sh.waiting[j] = sh.waiting[j-1]
+				j--
+			}
+			sh.waiting[j] = ir
+		}
 	}
 	if s.schedHead == len(s.sched) {
 		s.sched, s.schedHead = s.sched[:0], 0
 	}
+}
+
+// shouldShed applies the admission policy to an arrival: the request is
+// refused when its shard's queue depth has reached the policy's bound
+// for the request's class. The bound halves (min 1) while the shard's
+// entropy buffer is dry — a dry buffer means every queued word pays
+// full generation latency, so the shard sheds earlier.
+//
+//drstrange:noalloc
+func (s *System) shouldShed(sh *channelShard, ir *InjectedRequest) bool {
+	bound := s.admitDepth
+	if sh.bufferWords() == 0 {
+		if bound >>= 1; bound < 1 {
+			bound = 1
+		}
+	}
+	switch s.admitMode {
+	case admitDropLowest:
+		return sh.live >= bound && ir.prio == s.shedMinPrio
+	case admitThreshold:
+		return sh.live >= bound*(1+ir.prio)
+	default:
+		return false
+	}
+}
+
+// shedRequest completes an arrival as shed at its routing tick: no words
+// are queued, the completion hook fires (the closed-loop retry path keys
+// off Shed), and the handle recycles exactly like a served request's.
+//
+//drstrange:noalloc
+func (s *System) shedRequest(sh *channelShard, ir *InjectedRequest, t int64) {
+	ir.Shed = true
+	ir.Done = true
+	ir.FinishTick = t
+	sh.shed++
+	s.injLive--
+	if s.onInjDone != nil {
+		s.onInjDone(ir)
+		//drstrange:alloc-ok amortized: the request freelist's backing array is reused
+		s.irFree = append(s.irFree, ir)
+	}
+}
+
+// deadlineTick fails every waiting request whose class deadline has
+// passed before any of its words entered the controller — the per-class
+// generalization of the degraded-mode failDeadline. Partially submitted
+// requests are exempt: their words are already being generated, and
+// late completions are accounted as SLO violations instead. Callers
+// gate on sh.dlWaiting > 0, so the unclassed path never scans.
+//
+//drstrange:noalloc
+func (s *System) deadlineTick(sh *channelShard, t int64) {
+	live := sh.waiting[:sh.waitHead]
+	for i := sh.waitHead; i < len(sh.waiting); i++ {
+		ir := sh.waiting[i]
+		if ir.deadline > 0 && t >= ir.deadline && ir.wordsSubmitted == 0 {
+			ir.Missed = true
+			ir.Done = true
+			ir.FinishTick = t
+			sh.missed++
+			sh.live--
+			sh.dlWaiting--
+			s.injLive--
+			if s.onInjDone != nil {
+				s.onInjDone(ir)
+				//drstrange:alloc-ok amortized: the request freelist's backing array is reused
+				s.irFree = append(s.irFree, ir)
+			}
+			continue
+		}
+		//drstrange:alloc-ok in-place compaction into the slice's own backing array
+		live = append(live, ir)
+	}
+	for i := len(live); i < len(sh.waiting); i++ {
+		sh.waiting[i] = nil
+	}
+	sh.waiting = live
 }
 
 // OnInjectionComplete registers fn, called exactly once per injected
@@ -739,11 +885,33 @@ func (s *System) InjectRNG(client int, at int64, words int) *InjectedRequest {
 		s.irFresh[n-1] = nil
 		s.irFresh = s.irFresh[:n-1]
 	}
-	*ir = InjectedRequest{Client: client, Words: words, SubmitTick: at}
+	*ir = InjectedRequest{Client: client, Words: words, SubmitTick: at, Class: -1}
 	s.sched = append(s.sched, ir)
 	s.injLive++
 	if s.injLive > s.injPeak {
 		s.injPeak = s.injLive
+	}
+	return ir
+}
+
+// InjectRNGClass is InjectRNG with a request class attached: class
+// indexes RunConfig.Classes, whose priority orders the request ahead of
+// lower classes at the shard front end and in the controller's RNG
+// queue, and whose DeadlineTicks (if nonzero) sets an absolute
+// completion deadline from the arrival tick. The admission policy (if
+// any) may shed the request at its routing tick; a deadline miss fails
+// it while waiting. Both complete the request through the hook with the
+// corresponding mark set.
+func (s *System) InjectRNGClass(client int, at int64, words, class int) *InjectedRequest {
+	if class < 0 || class >= len(s.cfg.Classes) {
+		panic(fmt.Sprintf("sim: class %d out of range (Classes=%d)", class, len(s.cfg.Classes)))
+	}
+	ir := s.InjectRNG(client, at, words)
+	cls := &s.cfg.Classes[class]
+	ir.Class = class
+	ir.prio = cls.Priority
+	if cls.DeadlineTicks > 0 {
+		ir.deadline = at + cls.DeadlineTicks
 	}
 	return ir
 }
@@ -757,7 +925,7 @@ func (s *System) admitShard(sh *channelShard, t int64) {
 	for sh.waitHead < len(sh.waiting) {
 		ir := sh.waiting[sh.waitHead]
 		for ir.wordsSubmitted < ir.Words {
-			req, ok := sh.ctrl.SubmitRNG(s.clientBase+ir.Client, t)
+			req, ok := sh.ctrl.SubmitRNGPri(s.clientBase+ir.Client, t, ir.prio, ir.deadline)
 			if !ok {
 				// RNG queue full: retry next tick. Under sustained
 				// backpressure arrivals keep appending while the head
@@ -780,6 +948,9 @@ func (s *System) admitShard(sh *channelShard, t int64) {
 			sh.outstanding = append(sh.outstanding, injWord{req: req, ir: ir})
 		}
 		ir.AcceptTick = t
+		if ir.deadline > 0 {
+			sh.dlWaiting--
+		}
 		sh.waiting[sh.waitHead] = nil
 		sh.waitHead++
 	}
@@ -860,6 +1031,13 @@ type ShardStat struct {
 	DowntimeTicks    int64
 	FailedRequests   int64
 	ReroutedRequests int64
+
+	// Admission/deadline counters (class.go), all zero on the unclassed
+	// path. Shed counts arrivals the admission policy refused here;
+	// DeadlineMissed counts waiting requests failed at their class
+	// deadline.
+	Shed           int64
+	DeadlineMissed int64
 }
 
 // ShardStats snapshots every shard's routing/occupancy counters, in
@@ -868,13 +1046,15 @@ func (s *System) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(s.shards))
 	for k, sh := range s.shards {
 		st := ShardStat{
-			Shard:       k,
-			Routed:      sh.routed,
-			Completed:   sh.completed,
-			Live:        sh.live,
-			PeakLive:    sh.peakLive,
-			BufferWords: sh.bufferWords(),
-			RNGQueueLen: sh.ctrl.RNGQueueLen(),
+			Shard:          k,
+			Routed:         sh.routed,
+			Completed:      sh.completed,
+			Live:           sh.live,
+			PeakLive:       sh.peakLive,
+			BufferWords:    sh.bufferWords(),
+			RNGQueueLen:    sh.ctrl.RNGQueueLen(),
+			Shed:           sh.shed,
+			DeadlineMissed: sh.missed,
 		}
 		if sh.doneWords > 0 {
 			st.BufferHitRate = float64(sh.bufWords) / float64(sh.doneWords)

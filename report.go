@@ -79,6 +79,38 @@ type ServePointStats struct {
 	// when the scenario ran with health monitoring on, so unmonitored
 	// reports keep their historical JSON bytes.
 	Health *ServeHealthStats `json:"health,omitempty"`
+	// Overload-robustness stats; all omitted on the historical open-loop
+	// unclassed path, so its reports keep their exact JSON bytes.
+	// Population is the closed-loop client count of the point; Shed,
+	// DeadlineMissed, and Retried are the point-wide overload counters;
+	// PerClass the per-request-class breakdown when classes are
+	// configured.
+	Population     int               `json:"population,omitempty"`
+	Shed           int64             `json:"shed,omitempty"`
+	DeadlineMissed int64             `json:"deadline_missed,omitempty"`
+	Retried        int64             `json:"retried,omitempty"`
+	PerClass       []ClassPointStats `json:"per_class,omitempty"`
+}
+
+// ClassPointStats is one request class's slice of a serve point: the
+// public mirror of sim.ClassStat. Latencies are in memory ticks, like
+// the other point stats; ViolationFrac is the class's SLO-violation
+// fraction (late completions + deadline misses over completions +
+// misses).
+type ClassPointStats struct {
+	Class          string  `json:"class"`
+	Priority       int     `json:"priority"`
+	DeadlineTicks  int64   `json:"deadline_ticks,omitempty"`
+	Submitted      int64   `json:"submitted"`
+	Completed      int64   `json:"completed"`
+	Shed           int64   `json:"shed,omitempty"`
+	DeadlineMissed int64   `json:"deadline_missed,omitempty"`
+	Retried        int64   `json:"retried,omitempty"`
+	MeanTicks      float64 `json:"mean_ticks"`
+	P50            float64 `json:"p50"`
+	P99            float64 `json:"p99"`
+	GoodputMbps    float64 `json:"goodput_mbps"`
+	ViolationFrac  float64 `json:"violation_frac"`
 }
 
 // ServeHealthStats is the public mirror of the simulator's aggregate
@@ -110,6 +142,10 @@ type ShardPointStats struct {
 	DowntimeTicks    int64   `json:"downtime_ticks,omitempty"`
 	FailedRequests   int64   `json:"failed_requests,omitempty"`
 	ReroutedRequests int64   `json:"rerouted_requests,omitempty"`
+	// Shed and DeadlineMissed count this shard's admission refusals and
+	// class-deadline failures; omitted on the unclassed path.
+	Shed           int64 `json:"shed,omitempty"`
+	DeadlineMissed int64 `json:"deadline_missed,omitempty"`
 }
 
 // ServeDesignStats groups one design's per-point pipeline stats, in the
@@ -220,6 +256,10 @@ func serveStatsFrom(design string, pts []sim.ServePoint) ServeDesignStats {
 			PeakOutstanding:  pt.PeakOutstanding,
 			RecycledRequests: pt.RecycledRequests,
 			LatencyBins:      pt.LatencyBins,
+			Population:       pt.Population,
+			Shed:             pt.Shed,
+			DeadlineMissed:   pt.DeadlineMissed,
+			Retried:          pt.Retried,
 		}
 		for _, sh := range pt.PerShard {
 			out.Points[i].PerShard = append(out.Points[i].PerShard, ShardPointStats{
@@ -233,6 +273,25 @@ func serveStatsFrom(design string, pts []sim.ServePoint) ServeDesignStats {
 				DowntimeTicks:    sh.DowntimeTicks,
 				FailedRequests:   sh.FailedRequests,
 				ReroutedRequests: sh.ReroutedRequests,
+				Shed:             sh.Shed,
+				DeadlineMissed:   sh.DeadlineMissed,
+			})
+		}
+		for _, c := range pt.PerClass {
+			out.Points[i].PerClass = append(out.Points[i].PerClass, ClassPointStats{
+				Class:          c.Class,
+				Priority:       c.Priority,
+				DeadlineTicks:  c.DeadlineTicks,
+				Submitted:      c.Submitted,
+				Completed:      c.Completed,
+				Shed:           c.Shed,
+				DeadlineMissed: c.DeadlineMissed,
+				Retried:        c.Retried,
+				MeanTicks:      c.MeanTicks,
+				P50:            c.P50,
+				P99:            c.P99,
+				GoodputMbps:    c.GoodputMbps,
+				ViolationFrac:  c.ViolationFrac,
 			})
 		}
 		if pt.Health != nil {

@@ -48,10 +48,10 @@ const SchemaVersion = 1
 //	figure: Figure (required), Instructions
 //	run:    Design, Apps, RNGMbps, Priorities, Mechanism, BufferWords,
 //	        Instructions, Seed
-//	serve:  Designs, Loads, Arrival, Burstiness, Clients, RequestBytes,
-//	        WarmupTicks, WindowTicks, Shards, Router, Health, Fault,
-//	        Warm, Checkpoint, Apps (background load), Mechanism,
-//	        BufferWords, Seed
+//	serve:  Designs, Loads, Arrival, Burstiness, Clients, ThinkTicks,
+//	        Classes, Admission, RequestBytes, WarmupTicks, WindowTicks,
+//	        Shards, Router, Health, Fault, Warm, Checkpoint, Apps
+//	        (background load), Mechanism, BufferWords, Seed
 //	all:    Engine, Workers (execution knobs)
 //
 // Precedence of the execution knobs: a scenario field that is set wins
@@ -111,8 +111,25 @@ type Scenario struct {
 	// Burstiness shapes the bursty process (domain [0, 0.32]; ignored
 	// by the other arrival processes).
 	Burstiness float64 `json:"burstiness,omitempty"`
-	// Clients is the number of simulated request clients.
+	// Clients is the number of simulated request clients; 0 defers to
+	// DRSTRANGE_CLIENTS (then 8). Ignored by closed-loop sweeps
+	// (ThinkTicks > 0), whose population is sized from the offered load.
 	Clients int `json:"clients,omitempty"`
+	// ThinkTicks switches the serve sweep to a closed-loop client
+	// population with this mean exponential think time in ticks: each
+	// client submits, waits for completion, thinks, submits again, and
+	// retries shed/failed requests with capped exponential backoff. 0 —
+	// the default — keeps the open-loop arrival process. Serve scenarios
+	// only.
+	ThinkTicks int64 `json:"think_ticks,omitempty"`
+	// Classes names the request classes cycled across submissions (see
+	// ClassNames); request i carries class i mod len(Classes). Empty
+	// leaves every request unclassed. Serve scenarios only.
+	Classes []string `json:"classes,omitempty"`
+	// Admission names the per-shard admission policy (see
+	// AdmissionNames); "" defers to DRSTRANGE_ADMISSION (then none).
+	// Serve scenarios only.
+	Admission string `json:"admission,omitempty"`
 	// RequestBytes is the size of one RNG request.
 	RequestBytes int `json:"request_bytes,omitempty"`
 	// WarmupTicks precede the measurement window. nil selects the
@@ -214,6 +231,18 @@ func WithArrival(name string, burstiness float64) Option {
 // WithClients sets the number of simulated request clients.
 func WithClients(n int) Option { return func(s *Scenario) { s.Clients = n } }
 
+// WithThinkTicks switches the serve sweep to a closed-loop client
+// population with the given mean think time in ticks (0 = open loop).
+func WithThinkTicks(n int64) Option { return func(s *Scenario) { s.ThinkTicks = n } }
+
+// WithClasses sets the request classes cycled across submissions (see
+// ClassNames).
+func WithClasses(names ...string) Option { return func(s *Scenario) { s.Classes = names } }
+
+// WithAdmission selects the serve scenario's per-shard admission policy
+// (see AdmissionNames).
+func WithAdmission(name string) Option { return func(s *Scenario) { s.Admission = name } }
+
 // WithRequestBytes sets the size of one RNG request.
 func WithRequestBytes(n int) Option { return func(s *Scenario) { s.RequestBytes = n } }
 
@@ -260,6 +289,14 @@ func RouterNames() []string { return sim.RouterNames() }
 // sorted.
 func FaultNames() []string { return trng.FaultNames() }
 
+// ClassNames lists the accepted serve-scenario request class names,
+// sorted.
+func ClassNames() []string { return sim.ClassNames() }
+
+// AdmissionNames lists the accepted serve-scenario admission policy
+// names, sorted.
+func AdmissionNames() []string { return sim.AdmissionNames() }
+
 // Normalized returns the scenario with the kind-specific semantic
 // defaults filled in, mirroring the simulator's own defaulting
 // (sim.RunConfig.Normalized / sim.ServeConfig.Normalized) in one
@@ -267,8 +304,10 @@ func FaultNames() []string { return trng.FaultNames() }
 //
 //	run:   design drstrange, mechanism drange
 //	serve: designs [oblivious drstrange], mechanism drange, the
-//	       rngbench default load sweep, poisson arrivals, 8 clients,
-//	       8-byte requests, 20000-tick warmup, 100000-tick window
+//	       rngbench default load sweep, poisson arrivals, 8-byte
+//	       requests, 20000-tick warmup, 100000-tick window (clients
+//	       stays 0 when unset: it defers to DRSTRANGE_CLIENTS, then 8,
+//	       like the other deferred serve knobs)
 //
 // The execution knobs (Engine, Workers, Instructions) stay zero when
 // unset: they defer to the DRSTRANGE_* environment at run time, so
@@ -297,9 +336,6 @@ func (s Scenario) Normalized() Scenario {
 		}
 		if s.Arrival == "" {
 			s.Arrival = workload.ArrivalPoisson
-		}
-		if s.Clients <= 0 {
-			s.Clients = 8
 		}
 		if s.RequestBytes <= 0 {
 			s.RequestBytes = 8
@@ -351,6 +387,9 @@ func (s Scenario) serveOnlyFields() []fieldPresence {
 		{"arrival", s.Arrival != ""},
 		{"burstiness", s.Burstiness != 0},
 		{"clients", s.Clients != 0},
+		{"think_ticks", s.ThinkTicks != 0},
+		{"classes", len(s.Classes) > 0},
+		{"admission", s.Admission != ""},
 		{"request_bytes", s.RequestBytes != 0},
 		{"warmup_ticks", s.WarmupTicks != nil},
 		{"window_ticks", s.WindowTicks != 0},
@@ -522,6 +561,23 @@ func (s Scenario) Validate() error {
 		if n.Checkpoint < 0 {
 			return fmt.Errorf("checkpoint must be >= 0; got %d", n.Checkpoint)
 		}
+		if n.Clients < 0 {
+			return fmt.Errorf("clients must be >= 0; got %d", n.Clients)
+		}
+		if n.ThinkTicks < 0 {
+			return fmt.Errorf("think_ticks must be >= 0; got %d", n.ThinkTicks)
+		}
+		if n.ThinkTicks > 0 && n.Warm == "on" {
+			return fmt.Errorf("warm starts are open-loop only (the warm image is background-only and shared across loads); drop warm or think_ticks")
+		}
+		for _, c := range n.Classes {
+			if !sim.ValidClass(c) {
+				return unknownName("request class", c, sim.ClassNames())
+			}
+		}
+		if n.Admission != "" && !sim.ValidAdmission(n.Admission) {
+			return unknownName("admission policy", n.Admission, sim.AdmissionNames())
+		}
 	}
 	return nil
 }
@@ -599,7 +655,10 @@ func (s Scenario) serveConfig() (sim.ServeConfig, []sim.Design) {
 		Mech:         mech,
 		BufferWords:  n.BufferWords,
 		Background:   bg,
-		Clients:      n.Clients,
+		Clients:      n.Clients, // 0 defers to DRSTRANGE_CLIENTS via ServeConfig.Normalized
+		ThinkTicks:   n.ThinkTicks,
+		Classes:      n.Classes,
+		Admission:    n.Admission, // "" defers to DRSTRANGE_ADMISSION likewise
 		RequestBytes: n.RequestBytes,
 		Arrival:      n.Arrival,
 		Burstiness:   n.Burstiness,

@@ -232,8 +232,14 @@ func TestScenarioDefaultingParity(t *testing.T) {
 	if scfg0.Normalized().Mech.Name != serveRef.Mech.Name {
 		t.Errorf("serve mechanism default %q, sim normalize says %q", scfg0.Normalized().Mech.Name, serveRef.Mech.Name)
 	}
-	if ssc.Clients != serveRef.Clients {
-		t.Errorf("clients default %d, sim normalize says %d", ssc.Clients, serveRef.Clients)
+	// Clients stays zero through normalization and lowering — it defers
+	// to DRSTRANGE_CLIENTS inside the simulator's own Normalized, like
+	// the topology knobs below.
+	if ssc.Clients != 0 {
+		t.Errorf("scenario normalization pinned clients %d, want deferred zero", ssc.Clients)
+	}
+	if got := scfg0.Normalized(); got.Clients != serveRef.Clients {
+		t.Errorf("lowered clients default %d, sim normalize says %d", got.Clients, serveRef.Clients)
 	}
 	if ssc.RequestBytes != serveRef.RequestBytes {
 		t.Errorf("request bytes default %d, sim normalize says %d", ssc.RequestBytes, serveRef.RequestBytes)
